@@ -1,0 +1,138 @@
+// Command fpgapart partitions a generated relation from the command line
+// and prints the run's statistics — a quick way to poke at the simulated
+// circuit and the CPU baseline.
+//
+// Examples:
+//
+//	fpgapart -backend fpga -n 1048576 -partitions 8192 -format pad
+//	fpgapart -backend fpga -layout vrid -dist grid -hash=false
+//	fpgapart -backend cpu -threads 8 -n 8388608
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpgapart/partition"
+	"fpgapart/platform"
+	"fpgapart/workload"
+)
+
+func main() {
+	var (
+		backend    = flag.String("backend", "fpga", "fpga or cpu")
+		n          = flag.Int("n", 1<<20, "number of tuples")
+		parts      = flag.Int("partitions", 8192, "fan-out (power of two)")
+		width      = flag.Int("width", 8, "tuple width in bytes (8/16/32/64)")
+		dist       = flag.String("dist", "random", "linear|random|grid|revgrid|zipf")
+		zipf       = flag.Float64("zipf", 1.0, "zipf factor when -dist zipf")
+		hash       = flag.Bool("hash", true, "murmur hash partitioning (false = radix)")
+		format     = flag.String("format", "pad", "fpga output mode: hist or pad")
+		layout     = flag.String("layout", "rid", "fpga input mode: rid or vrid")
+		pad        = flag.Float64("padfraction", 0.15, "pad-mode headroom")
+		threads    = flag.Int("threads", 0, "cpu backend threads (0 = all cores)")
+		raw        = flag.Bool("raw", false, "use the 25.6 GB/s raw wrapper platform")
+		interfered = flag.Bool("interfered", false, "use the interfered bandwidth curve")
+		seed       = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	rel, err := generate(*dist, *zipf, *width, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	var p partition.Partitioner
+	switch *backend {
+	case "cpu":
+		p, err = partition.NewCPU(partition.CPUOptions{
+			Partitions: *parts, Hash: *hash, Threads: *threads,
+		})
+	case "fpga":
+		opts := partition.FPGAOptions{
+			Partitions:  *parts,
+			TupleWidth:  *width,
+			Hash:        *hash,
+			PadFraction: *pad,
+			Interfered:  *interfered,
+		}
+		if *format == "hist" {
+			opts.Format = partition.HistMode
+		} else {
+			opts.Format = partition.PadMode
+		}
+		if *layout == "vrid" {
+			opts.Layout = partition.ColumnStore
+			rel = rel.ToColumns()
+		}
+		if *raw {
+			opts.Platform = platform.RawFPGA()
+		}
+		p, err = partition.NewFPGA(opts)
+	default:
+		fatal(fmt.Errorf("unknown backend %q", *backend))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := p.Partition(rel)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("partitioner:   %s\n", p.Name())
+	fmt.Printf("tuples:        %d  (%d partitions)\n", res.TotalTuples(), res.NumPartitions())
+	kind := "measured"
+	if res.Simulated() {
+		kind = "simulated"
+	}
+	fmt.Printf("elapsed:       %v (%s)\n", res.Elapsed(), kind)
+	fmt.Printf("throughput:    %.1f Mtuples/s\n", float64(*n)/res.Elapsed().Seconds()/1e6)
+	if res.FellBack() {
+		fmt.Println("note:          PAD overflow — fell back to the CPU partitioner")
+	}
+	if res.Simulated() {
+		s := res.Stats
+		fmt.Printf("cycles:        %d (histogram %d, flush %d)\n", s.Cycles, s.HistogramCycles, s.FlushCycles)
+		fmt.Printf("qpi traffic:   %d lines read, %d written, %d dummy tuples\n", s.LinesRead, s.LinesWritten, s.Dummies)
+		fmt.Printf("hazards:       %d forwarded, %d stalls\n", s.ForwardedHazards, s.StallsHazard)
+	}
+	// Partition-size summary.
+	min, max := res.Count(0), res.Count(0)
+	for i := 1; i < res.NumPartitions(); i++ {
+		c := res.Count(i)
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(res.TotalTuples()) / float64(res.NumPartitions())
+	fmt.Printf("partition size: min %d, mean %.1f, max %d (imbalance %.2fx)\n", min, mean, max, float64(max)/mean)
+}
+
+func generate(dist string, zipf float64, width, n int, seed int64) (*workload.Relation, error) {
+	g := workload.NewGenerator(seed)
+	switch dist {
+	case "linear":
+		return g.Relation(workload.Linear, width, n)
+	case "random":
+		return g.Relation(workload.Random, width, n)
+	case "grid":
+		return g.Relation(workload.Grid, width, n)
+	case "revgrid":
+		return g.Relation(workload.ReverseGrid, width, n)
+	case "zipf":
+		return g.ZipfRelation(zipf, n, width, n)
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", dist)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpgapart:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command joinbench runs radix hash joins — pure CPU, hybrid CPU+FPGA, or
+// non-partitioned — on the paper's workloads and prints the phase breakdown.
+//
+// Examples:
+//
+//	joinbench -workload A -scale 0.0625 -system hybrid -format pad
+//	joinbench -workload E -system cpu -hash=false
+//	joinbench -workload A -zipf 1.25 -system hybrid -format hist
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpgapart/hashjoin"
+	"fpgapart/partition"
+	"fpgapart/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "A", "Table 4 workload: A, B, C, D or E")
+		scale   = flag.Float64("scale", 1.0/16, "fraction of the paper's relation sizes")
+		system  = flag.String("system", "hybrid", "cpu, hybrid or nopart")
+		parts   = flag.Int("partitions", 8192, "fan-out")
+		threads = flag.Int("threads", 0, "build+probe threads (0 = all cores)")
+		hash    = flag.Bool("hash", true, "murmur hash partitioning")
+		format  = flag.String("format", "pad", "hybrid FPGA mode: hist or pad")
+		vrid    = flag.Bool("vrid", false, "hybrid column-store (VRID) mode")
+		zipf    = flag.Float64("zipf", 0, "skew S with this Zipf factor (>0)")
+		seed    = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	spec, err := workload.Spec(workload.WorkloadID(*wl))
+	if err != nil {
+		fatal(err)
+	}
+	spec = spec.Scaled(*scale)
+	var in *workload.JoinInput
+	if *zipf > 0 {
+		in, err = spec.GenerateSkewed(*seed, *zipf)
+	} else {
+		in, err = spec.Generate(*seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload %s: R %d ⋈ S %d tuples, %s keys\n",
+		spec.ID, spec.TuplesR, spec.TuplesS, spec.Distribution)
+
+	opts := hashjoin.Options{
+		Partitions: *parts,
+		Threads:    *threads,
+		Hash:       *hash,
+	}
+	var res *hashjoin.Result
+	switch *system {
+	case "cpu":
+		res, err = hashjoin.CPU(in.R, in.S, opts)
+	case "hybrid":
+		if *format == "hist" {
+			opts.Format = partition.HistMode
+		} else {
+			opts.Format = partition.PadMode
+			opts.PadFraction = 0.5
+		}
+		if *vrid {
+			opts.Layout = partition.ColumnStore
+			p, perr := partition.NewFPGA(partition.FPGAOptions{
+				Partitions: *parts, Hash: *hash, Format: opts.Format,
+				Layout: partition.ColumnStore, PadFraction: opts.PadFraction,
+				FallbackThreads: *threads,
+			})
+			if perr != nil {
+				fatal(perr)
+			}
+			res, err = hashjoin.Join(in.R.ToColumns(), in.S.ToColumns(), p, opts)
+		} else {
+			res, err = hashjoin.Hybrid(in.R, in.S, opts)
+		}
+	case "nopart":
+		res, err = hashjoin.NonPartitioned(in.R, in.S, opts)
+	default:
+		fatal(fmt.Errorf("unknown system %q", *system))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("system:        %s (%s), %d threads\n", *system, res.PartitionerName, res.Threads)
+	fmt.Printf("matches:       %d (checksum %#x)\n", res.Matches, res.Checksum)
+	fmt.Printf("partition R:   %v\n", res.PartitionR)
+	fmt.Printf("partition S:   %v\n", res.PartitionS)
+	fmt.Printf("build:         %v\n", res.Build)
+	fmt.Printf("probe:         %v\n", res.Probe)
+	fmt.Printf("total:         %v  (%.1f Mtuples/s over |R|+|S|)\n",
+		res.Total, float64(spec.TuplesR+spec.TuplesS)/res.Total.Seconds()/1e6)
+	if res.CoherencePenalized {
+		fmt.Println("note:          build+probe includes the Table 1 snoop penalty")
+	}
+	if res.FellBack {
+		fmt.Println("note:          PAD overflow — partitioning fell back to the CPU")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "joinbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro -exp all                # every experiment at the default scale
+//	repro -exp fig9 -scale 0.125  # one experiment at 1/8 of paper scale
+//	repro -list
+//
+// Scale multiplies the paper's relation sizes (1.0 = the full 128 M-tuple
+// workloads); the default 1/16 finishes the whole suite in minutes on a
+// laptop while preserving every reported shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fpgapart/experiments"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment id or \"all\"")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		scale      = flag.Float64("scale", 1.0/16, "fraction of the paper's relation sizes")
+		seed       = flag.Int64("seed", 42, "workload generator seed")
+		maxThreads = flag.Int("threads", 0, "thread sweep ceiling (0 = min(10, cores))")
+		csvDir     = flag.String("csv", "", "also write <dir>/<exp>.csv per experiment")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, MaxThreads: *maxThreads}.WithDefaults()
+	fmt.Printf("fpgapart reproduction — scale %.4g, seed %d, ≤%d threads\n", cfg.Scale, cfg.Seed, cfg.MaxThreads)
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, e.ID+".csv")
+			file, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := experiments.WriteCSV(cfg, e.ID, file); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			if err := file.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("[%s csv written to %s in %v]\n", e.ID, path, time.Since(start).Round(time.Millisecond))
+			return
+		}
+		if err := e.Run(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s finished in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, err := experiments.Find(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "use -list to see available experiments")
+		os.Exit(2)
+	}
+	run(e)
+}

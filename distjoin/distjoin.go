@@ -1,0 +1,268 @@
+// Package distjoin implements the paper's second envisioned use of the
+// partitioner (Section 6): rack-scale distributed joins where the
+// partitioner — ideally the FPGA circuit attached directly to the network —
+// splits each node's data across the cluster over RDMA (following Barthels
+// et al.), so that after one exchange every node holds complete, cache-sized
+// partitions and finishes with purely local build+probe.
+//
+// Execution model: every node partitions its local shard of R and S into a
+// global fan-out of Nodes × PartitionsPerNode partitions; the low bits of
+// the partition index select the owning node. The all-to-all exchange is
+// timed by the RDMA fabric model from the exact per-node-pair byte counts;
+// partitioning is measured (CPU) or simulated (FPGA) per node, and the
+// local joins run for real. Per-phase time is the slowest node, as the
+// phases are cluster-synchronous.
+package distjoin
+
+import (
+	"fmt"
+	"time"
+
+	"fpgapart/internal/hashutil"
+	"fpgapart/internal/joincore"
+	"fpgapart/internal/rdma"
+	"fpgapart/partition"
+	"fpgapart/platform"
+	"fpgapart/workload"
+)
+
+// Options configures a distributed join.
+type Options struct {
+	// Nodes is the cluster size (power of two ≥ 1).
+	Nodes int
+	// PartitionsPerNode is the per-node fan-out after the exchange (power
+	// of two); the global fan-out is Nodes × PartitionsPerNode.
+	PartitionsPerNode int
+	// Fabric models the network; defaults to rdma.FDRCluster(Nodes).
+	Fabric *rdma.Fabric
+	// UseFPGA partitions each node's shard on the simulated FPGA circuit
+	// instead of the measured CPU partitioner.
+	UseFPGA bool
+	// Format is the FPGA mode (HIST recommended for unknown skew).
+	Format partition.Format
+	// Threads is the per-node build+probe (and CPU partitioning)
+	// parallelism.
+	Threads int
+	// Platform supplies the FPGA clock/link and coherence model.
+	Platform *platform.Platform
+}
+
+func (o Options) withDefaults() Options {
+	if o.Fabric == nil {
+		o.Fabric = rdma.FDRCluster(o.Nodes)
+	}
+	if o.Platform == nil {
+		o.Platform = platform.XeonFPGA()
+	}
+	if o.PartitionsPerNode == 0 {
+		o.PartitionsPerNode = 1024
+	}
+	return o
+}
+
+func (o *Options) validate() error {
+	if !hashutil.IsPowerOfTwo(o.Nodes) {
+		return fmt.Errorf("distjoin: Nodes %d must be a power of two", o.Nodes)
+	}
+	if !hashutil.IsPowerOfTwo(o.PartitionsPerNode) {
+		return fmt.Errorf("distjoin: PartitionsPerNode %d must be a power of two", o.PartitionsPerNode)
+	}
+	return nil
+}
+
+// Result reports a distributed join.
+type Result struct {
+	Matches  int64
+	Checksum uint64
+
+	// PartitionTime is the slowest node's partitioning time for both
+	// relations (simulated when UseFPGA).
+	PartitionTime time.Duration
+	// ExchangeTime is the simulated all-to-all RDMA exchange.
+	ExchangeTime time.Duration
+	// JoinTime is the slowest node's measured local build+probe (with the
+	// coherence penalty when the partitions were FPGA/NIC-written).
+	JoinTime time.Duration
+	Total    time.Duration
+
+	// BytesExchanged is the total off-node traffic.
+	BytesExchanged int64
+	Nodes          int
+	GlobalFanOut   int
+}
+
+// Join executes the distributed join of r ⋈ s under opts.
+func Join(r, s *workload.Relation, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	global := opts.Nodes * opts.PartitionsPerNode
+
+	rShards := shard(r, opts.Nodes)
+	sShards := shard(s, opts.Nodes)
+
+	p, err := makePartitioner(opts, global)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: every node partitions its shards to the global fan-out.
+	rParts := make([]*partition.Result, opts.Nodes)
+	sParts := make([]*partition.Result, opts.Nodes)
+	var slowest time.Duration
+	for n := 0; n < opts.Nodes; n++ {
+		pr, err := p.Partition(rShards[n])
+		if err != nil {
+			return nil, fmt.Errorf("distjoin: node %d partitioning R: %w", n, err)
+		}
+		ps, err := p.Partition(sShards[n])
+		if err != nil {
+			return nil, fmt.Errorf("distjoin: node %d partitioning S: %w", n, err)
+		}
+		rParts[n], sParts[n] = pr, ps
+		if t := pr.Elapsed() + ps.Elapsed(); t > slowest {
+			slowest = t
+		}
+	}
+
+	// Phase 2: all-to-all exchange. Node i sends partition p (of either
+	// relation) to node p & (Nodes-1); physical bytes include dummy padding
+	// for FPGA-written partitions (8 bytes per addressable slot).
+	sendBytes := make([][]int64, opts.Nodes)
+	var offNode int64
+	for i := range sendBytes {
+		sendBytes[i] = make([]int64, opts.Nodes)
+		for gp := 0; gp < global; gp++ {
+			dst := gp & (opts.Nodes - 1)
+			bytes := int64(rParts[i].SlotCount(gp)+sParts[i].SlotCount(gp)) * 8
+			sendBytes[i][dst] += bytes
+			if dst != i {
+				offNode += bytes
+			}
+		}
+	}
+	exchangeSec, err := opts.Fabric.ExchangeSeconds(sendBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: per destination node, join its owned partitions, with each
+	// partition assembled from all nodes' pieces.
+	var matches int64
+	var checksum uint64
+	var slowestJoin time.Duration
+	penalty := 1.0
+	if opts.UseFPGA {
+		// Received partitions were written by remote agents (RDMA NIC /
+		// FPGA), so the local CPU pays the Table 1 probe penalty.
+		penalty = opts.Platform.Coherence.ProbePenalty()
+	}
+	for n := 0; n < opts.Nodes; n++ {
+		rm := newMerged(rParts, n, opts.Nodes, opts.PartitionsPerNode)
+		sm := newMerged(sParts, n, opts.Nodes, opts.PartitionsPerNode)
+		bp, err := joincore.BuildProbe(rm, sm, opts.Threads)
+		if err != nil {
+			return nil, err
+		}
+		matches += bp.Matches
+		checksum += bp.Checksum
+		t := time.Duration(float64(bp.Elapsed) * penalty)
+		if t > slowestJoin {
+			slowestJoin = t
+		}
+	}
+
+	res := &Result{
+		Matches:        matches,
+		Checksum:       checksum,
+		PartitionTime:  slowest,
+		ExchangeTime:   time.Duration(exchangeSec * float64(time.Second)),
+		JoinTime:       slowestJoin,
+		BytesExchanged: offNode,
+		Nodes:          opts.Nodes,
+		GlobalFanOut:   global,
+	}
+	res.Total = res.PartitionTime + res.ExchangeTime + res.JoinTime
+	return res, nil
+}
+
+func makePartitioner(opts Options, global int) (partition.Partitioner, error) {
+	if opts.UseFPGA {
+		return partition.NewFPGA(partition.FPGAOptions{
+			Partitions:      global,
+			Hash:            true,
+			Format:          opts.Format,
+			PadFraction:     0.5,
+			Platform:        opts.Platform,
+			FallbackThreads: opts.Threads,
+		})
+	}
+	return partition.NewCPU(partition.CPUOptions{
+		Partitions: global,
+		Hash:       true,
+		Threads:    opts.Threads,
+	})
+}
+
+// shard splits rel round-robin into n shards (the arrival distribution of a
+// scan spread over a cluster).
+func shard(rel *workload.Relation, n int) []*workload.Relation {
+	shards := make([]*workload.Relation, n)
+	sizes := make([]int, n)
+	for i := 0; i < rel.NumTuples; i++ {
+		sizes[i%n]++
+	}
+	idx := make([]int, n)
+	for i := range shards {
+		shards[i], _ = workload.NewRelation(workload.RowLayout, 8, sizes[i])
+	}
+	for i := 0; i < rel.NumTuples; i++ {
+		s := i % n
+		shards[s].SetTuple(idx[s], rel.Key(i), rel.Payload(i))
+		idx[s]++
+	}
+	return shards
+}
+
+// merged presents node-owned partitions, each assembled from every source
+// node's piece, as a joincore.Partitions.
+type merged struct {
+	parts   []*partition.Result
+	node    int
+	nodes   int
+	perNode int
+	// prefix[lp][src] is the slot offset of source src's piece within
+	// owned local partition lp.
+	prefix [][]int
+	total  []int
+}
+
+func newMerged(parts []*partition.Result, node, nodes, perNode int) *merged {
+	m := &merged{parts: parts, node: node, nodes: nodes, perNode: perNode}
+	m.prefix = make([][]int, perNode)
+	m.total = make([]int, perNode)
+	for lp := 0; lp < perNode; lp++ {
+		gp := lp*nodes + node // global partition owned by this node
+		off := make([]int, len(parts)+1)
+		for src := range parts {
+			off[src+1] = off[src] + parts[src].SlotCount(gp)
+		}
+		m.prefix[lp] = off
+		m.total[lp] = off[len(parts)]
+	}
+	return m
+}
+
+func (m *merged) NumPartitions() int  { return m.perNode }
+func (m *merged) SlotCount(p int) int { return m.total[p] }
+func (m *merged) Slot(p, i int) (uint32, uint32, bool) {
+	off := m.prefix[p]
+	// Binary search over source pieces (few nodes: linear is fine).
+	src := 0
+	for off[src+1] <= i {
+		src++
+	}
+	gp := p*m.nodes + m.node
+	return m.parts[src].Slot(gp, i-off[src])
+}

@@ -1,0 +1,17 @@
+// Package fpgapart is a from-scratch Go reproduction of "FPGA-based Data
+// Partitioning" (Kara, Giceva, Alonso — SIGMOD 2017): a fully pipelined
+// FPGA data-partitioning circuit on the Intel Xeon+FPGA hybrid platform,
+// evaluated in isolation and inside a hybrid radix hash join.
+//
+// The public API lives in the subpackages:
+//
+//   - partition — CPU and (simulated) FPGA partitioners
+//   - hashjoin  — partitioned, hybrid and non-partitioned hash joins
+//   - workload  — relations, key distributions, Zipf skew, Workloads A–E
+//   - platform  — the Xeon+FPGA machine model (bandwidth, coherence)
+//   - experiments — regenerate every table and figure of the paper
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-reproduction comparison. This root
+// package only anchors the module-level benchmarks in bench_test.go.
+package fpgapart

@@ -1,0 +1,235 @@
+// Package engine is a minimal relational operator pipeline demonstrating
+// how the partitioner integrates into a DBMS (Section 6 of the paper): the
+// FPGA is invoked as a sub-operator inside complex relational operators
+// (here: hash join and group-by aggregation), and an offload decision uses
+// the analytical cost model to pick the CPU or the FPGA partitioner per
+// input.
+//
+// Operators are batch-at-a-time Volcano-style iterators over 8-byte
+// <key, payload> tuples packed into uint64s.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"fpgapart/workload"
+)
+
+// Batch is one vector of packed <key, payload> tuples.
+type Batch []uint64
+
+// Key returns the key of tuple i.
+func (b Batch) Key(i int) uint32 { return uint32(b[i]) }
+
+// Payload returns the payload of tuple i.
+func (b Batch) Payload(i int) uint32 { return uint32(b[i] >> 32) }
+
+// DefaultBatchSize is the vector size used when none is configured: 1024
+// tuples = 8 KB, comfortably L1-resident.
+const DefaultBatchSize = 1024
+
+// Operator is a batch iterator. The contract is Open, then Next until it
+// returns a nil batch, then Close. Batches are owned by the operator and
+// valid only until the next call.
+type Operator interface {
+	Open() error
+	Next() (Batch, error)
+	Close() error
+}
+
+// errNotOpen is returned by Next on an unopened operator.
+var errNotOpen = errors.New("engine: operator not open")
+
+// Collect drains op and returns all tuples — the root of a query.
+func Collect(op Operator) ([]uint64, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []uint64
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		out = append(out, b...)
+	}
+}
+
+// Count drains op and returns only the tuple count.
+func Count(op Operator) (int64, error) {
+	if err := op.Open(); err != nil {
+		return 0, err
+	}
+	defer op.Close()
+	var n int64
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return 0, err
+		}
+		if b == nil {
+			return n, nil
+		}
+		n += int64(len(b))
+	}
+}
+
+// Scan streams a row-layout relation of 8-byte tuples.
+type Scan struct {
+	rel       *workload.Relation
+	batchSize int
+	pos       int
+	open      bool
+}
+
+// NewScan returns a scan over rel. batchSize ≤ 0 uses DefaultBatchSize.
+func NewScan(rel *workload.Relation, batchSize int) (*Scan, error) {
+	if rel.Layout != workload.RowLayout || rel.Width != 8 {
+		return nil, fmt.Errorf("engine: scan needs row-layout 8-byte tuples, got %v %dB", rel.Layout, rel.Width)
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return &Scan{rel: rel, batchSize: batchSize}, nil
+}
+
+func (s *Scan) Open() error {
+	s.pos = 0
+	s.open = true
+	return nil
+}
+
+func (s *Scan) Next() (Batch, error) {
+	if !s.open {
+		return nil, errNotOpen
+	}
+	if s.pos >= s.rel.NumTuples {
+		return nil, nil
+	}
+	end := s.pos + s.batchSize
+	if end > s.rel.NumTuples {
+		end = s.rel.NumTuples
+	}
+	b := Batch(s.rel.Data[s.pos:end])
+	s.pos = end
+	return b, nil
+}
+
+func (s *Scan) Close() error {
+	s.open = false
+	return nil
+}
+
+// Filter keeps tuples satisfying a predicate.
+type Filter struct {
+	child Operator
+	pred  func(key, payload uint32) bool
+	buf   []uint64
+}
+
+// NewFilter wraps child with the predicate.
+func NewFilter(child Operator, pred func(key, payload uint32) bool) *Filter {
+	return &Filter{child: child, pred: pred}
+}
+
+func (f *Filter) Open() error  { return f.child.Open() }
+func (f *Filter) Close() error { return f.child.Close() }
+
+func (f *Filter) Next() (Batch, error) {
+	for {
+		b, err := f.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		f.buf = f.buf[:0]
+		for _, t := range b {
+			if f.pred(uint32(t), uint32(t>>32)) {
+				f.buf = append(f.buf, t)
+			}
+		}
+		if len(f.buf) > 0 {
+			return f.buf, nil
+		}
+	}
+}
+
+// Project rewrites tuples with a mapping function.
+type Project struct {
+	child Operator
+	fn    func(key, payload uint32) (uint32, uint32)
+	buf   []uint64
+}
+
+// NewProject wraps child with the mapping.
+func NewProject(child Operator, fn func(key, payload uint32) (uint32, uint32)) *Project {
+	return &Project{child: child, fn: fn}
+}
+
+func (p *Project) Open() error  { return p.child.Open() }
+func (p *Project) Close() error { return p.child.Close() }
+
+func (p *Project) Next() (Batch, error) {
+	b, err := p.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	p.buf = p.buf[:0]
+	for _, t := range b {
+		k, v := p.fn(uint32(t), uint32(t>>32))
+		p.buf = append(p.buf, uint64(v)<<32|uint64(k))
+	}
+	return p.buf, nil
+}
+
+// Limit caps the number of tuples produced.
+type Limit struct {
+	child Operator
+	n     int64
+	left  int64
+}
+
+// NewLimit wraps child with a tuple cap.
+func NewLimit(child Operator, n int64) *Limit {
+	return &Limit{child: child, n: n}
+}
+
+func (l *Limit) Open() error {
+	l.left = l.n
+	return l.child.Open()
+}
+func (l *Limit) Close() error { return l.child.Close() }
+
+func (l *Limit) Next() (Batch, error) {
+	if l.left <= 0 {
+		return nil, nil
+	}
+	b, err := l.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if int64(len(b)) > l.left {
+		b = b[:l.left]
+	}
+	l.left -= int64(len(b))
+	return b, nil
+}
+
+// drain pulls every tuple of child into a relation (used by the blocking
+// operators, which hand whole relations to the partitioner sub-operator).
+func drain(child Operator) (*workload.Relation, error) {
+	tuples, err := Collect(child)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := workload.NewRelation(workload.RowLayout, 8, len(tuples))
+	if err != nil {
+		return nil, err
+	}
+	copy(rel.Data, tuples)
+	return rel, nil
+}

@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fpgapart/internal/hashutil"
+	"fpgapart/partition"
+)
+
+// HashJoin is a blocking partitioned equi-join operator: it drains both
+// children, partitions them with the configured (or planner-chosen)
+// partitioner, joins partition pairs in parallel, and streams out one tuple
+// per match: <key, Combine(buildPayload, probePayload)>.
+type HashJoin struct {
+	build, probe Operator
+	planner      *Planner
+	partitions   int
+	threads      int
+	// Combine merges the payloads of a match (default: sum).
+	Combine func(buildPay, probePay uint32) uint32
+
+	out    []uint64
+	pos    int
+	opened bool
+	// ChosenPartitioner records the planner's pick after Open, for
+	// inspection ("was this offloaded?").
+	ChosenPartitioner string
+}
+
+// NewHashJoin joins build ⋈ probe on the tuple key. planner may be nil for
+// CPU-only execution.
+func NewHashJoin(build, probe Operator, planner *Planner, partitions, threads int) *HashJoin {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	return &HashJoin{
+		build:      build,
+		probe:      probe,
+		planner:    planner,
+		partitions: partitions,
+		threads:    threads,
+		Combine:    func(a, b uint32) uint32 { return a + b },
+	}
+}
+
+func (j *HashJoin) Open() error {
+	r, err := drain(j.build)
+	if err != nil {
+		return fmt.Errorf("engine: join build side: %w", err)
+	}
+	s, err := drain(j.probe)
+	if err != nil {
+		return fmt.Errorf("engine: join probe side: %w", err)
+	}
+	planner := j.planner
+	if planner == nil {
+		planner = NewPlanner(PlannerConfig{ForceCPU: true, Threads: j.threads, Partitions: j.partitions})
+	}
+	p, err := planner.Partitioner(r.NumTuples)
+	if err != nil {
+		return err
+	}
+	j.ChosenPartitioner = p.Name()
+	pr, err := p.Partition(r)
+	if err != nil {
+		return err
+	}
+	ps, err := p.Partition(s)
+	if err != nil {
+		return err
+	}
+	j.out, err = joinMaterialize(pr, ps, j.threads, j.Combine)
+	if err != nil {
+		return err
+	}
+	j.pos = 0
+	j.opened = true
+	return nil
+}
+
+func (j *HashJoin) Next() (Batch, error) {
+	if !j.opened {
+		return nil, errNotOpen
+	}
+	if j.pos >= len(j.out) {
+		return nil, nil
+	}
+	end := j.pos + DefaultBatchSize
+	if end > len(j.out) {
+		end = len(j.out)
+	}
+	b := Batch(j.out[j.pos:end])
+	j.pos = end
+	return b, nil
+}
+
+func (j *HashJoin) Close() error {
+	j.opened = false
+	j.out = nil
+	if err := j.build.Close(); err != nil {
+		return err
+	}
+	return j.probe.Close()
+}
+
+// joinMaterialize is a bucket-chaining build+probe that emits the joined
+// tuples (unlike joincore, which only counts — an engine operator must
+// produce output).
+func joinMaterialize(r, s *partition.Result, threads int, combine func(a, b uint32) uint32) ([]uint64, error) {
+	if r.NumPartitions() != s.NumPartitions() {
+		return nil, fmt.Errorf("engine: fan-out mismatch %d vs %d", r.NumPartitions(), s.NumPartitions())
+	}
+	n := r.NumPartitions()
+	perPart := make([][]uint64, n)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var keys, pays []uint32
+			for {
+				p := int(atomic.AddInt64(&next, 1)) - 1
+				if p >= n {
+					return
+				}
+				keys = keys[:0]
+				pays = pays[:0]
+				r.Each(p, func(k, pay uint32) {
+					keys = append(keys, k)
+					pays = append(pays, pay)
+				})
+				if len(keys) == 0 {
+					continue
+				}
+				buckets := 16
+				for buckets < len(keys) {
+					buckets <<= 1
+				}
+				mask := uint32(buckets - 1)
+				head := make([]int32, buckets)
+				chain := make([]int32, len(keys))
+				for i, k := range keys {
+					b := (hashutil.Murmur32Finalizer(k) >> 13) & mask
+					chain[i] = head[b]
+					head[b] = int32(i) + 1
+				}
+				var out []uint64
+				s.Each(p, func(k, sPay uint32) {
+					for slot := head[(hashutil.Murmur32Finalizer(k)>>13)&mask]; slot != 0; slot = chain[slot-1] {
+						if keys[slot-1] == k {
+							out = append(out, uint64(combine(pays[slot-1], sPay))<<32|uint64(k))
+						}
+					}
+				})
+				perPart[p] = out
+			}
+		}()
+	}
+	wg.Wait()
+	var total int
+	for _, o := range perPart {
+		total += len(o)
+	}
+	out := make([]uint64, 0, total)
+	for _, o := range perPart {
+		out = append(out, o...)
+	}
+	return out, nil
+}
+
+// GroupBy is a blocking aggregation operator: it drains its child,
+// partitions by group key, aggregates per partition, and emits one tuple
+// per group: <key, aggregate>, keys ascending.
+type GroupBy struct {
+	child      Operator
+	planner    *Planner
+	partitions int
+	threads    int
+	agg        AggKind
+
+	out    []uint64
+	pos    int
+	opened bool
+	// ChosenPartitioner records the planner's pick after Open.
+	ChosenPartitioner string
+}
+
+// AggKind selects the aggregate GroupBy emits.
+type AggKind int
+
+const (
+	AggCount AggKind = iota
+	AggSum           // low 32 bits of the payload sum
+	AggMin
+	AggMax
+)
+
+// NewGroupBy aggregates child by key. planner may be nil for CPU-only.
+func NewGroupBy(child Operator, planner *Planner, partitions, threads int, agg AggKind) *GroupBy {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	return &GroupBy{child: child, planner: planner, partitions: partitions, threads: threads, agg: agg}
+}
+
+func (g *GroupBy) Open() error {
+	rel, err := drain(g.child)
+	if err != nil {
+		return err
+	}
+	planner := g.planner
+	if planner == nil {
+		planner = NewPlanner(PlannerConfig{ForceCPU: true, Threads: g.threads, Partitions: g.partitions})
+	}
+	p, err := planner.Partitioner(rel.NumTuples)
+	if err != nil {
+		return err
+	}
+	g.ChosenPartitioner = p.Name()
+	parted, err := p.Partition(rel)
+	if err != nil {
+		return err
+	}
+
+	type kv struct {
+		key uint32
+		val uint32
+	}
+	perPart := make([][]kv, parted.NumPartitions())
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < g.threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			counts := map[uint32]int64{}
+			vals := map[uint32]uint32{}
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= parted.NumPartitions() {
+					return
+				}
+				clear(counts)
+				clear(vals)
+				parted.Each(i, func(k, pay uint32) {
+					counts[k]++
+					switch g.agg {
+					case AggSum:
+						vals[k] += pay
+					case AggMin:
+						if c, ok := vals[k]; !ok || pay < c {
+							vals[k] = pay
+						}
+					case AggMax:
+						if c, ok := vals[k]; !ok || pay > c {
+							vals[k] = pay
+						}
+					}
+				})
+				rows := make([]kv, 0, len(counts))
+				for k, c := range counts {
+					v := uint32(c)
+					if g.agg != AggCount {
+						v = vals[k]
+					}
+					rows = append(rows, kv{k, v})
+				}
+				perPart[i] = rows
+			}
+		}()
+	}
+	wg.Wait()
+
+	var all []kv
+	for _, rows := range perPart {
+		all = append(all, rows...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	g.out = g.out[:0]
+	for _, row := range all {
+		g.out = append(g.out, uint64(row.val)<<32|uint64(row.key))
+	}
+	g.pos = 0
+	g.opened = true
+	return nil
+}
+
+func (g *GroupBy) Next() (Batch, error) {
+	if !g.opened {
+		return nil, errNotOpen
+	}
+	if g.pos >= len(g.out) {
+		return nil, nil
+	}
+	end := g.pos + DefaultBatchSize
+	if end > len(g.out) {
+		end = len(g.out)
+	}
+	b := Batch(g.out[g.pos:end])
+	g.pos = end
+	return b, nil
+}
+
+func (g *GroupBy) Close() error {
+	g.opened = false
+	g.out = nil
+	return g.child.Close()
+}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"fpgapart/internal/model"
+	"fpgapart/partition"
+	"fpgapart/platform"
+	"fpgapart/workload"
+)
+
+// Planner decides, per input size, whether a partitioning sub-operator
+// should run on the CPU or be offloaded to the FPGA — the integration
+// question Section 6 raises. The FPGA side is predicted by the paper's cost
+// model; the CPU side is predicted from a one-time micro-calibration of the
+// host's partitioning rate. Small inputs stay on the CPU (the FPGA's fixed
+// pipeline/flush latency dominates); large inputs go to whichever side the
+// model favors.
+type Planner struct {
+	cfg PlannerConfig
+
+	calOnce sync.Once
+	// cpuTuplesPerSec is the calibrated host partitioning rate.
+	cpuTuplesPerSec float64
+}
+
+// PlannerConfig configures the offload decision.
+type PlannerConfig struct {
+	Partitions int
+	Threads    int
+	Hash       bool
+	// Platform defaults to platform.XeonFPGA().
+	Platform *platform.Platform
+	// Format is the FPGA mode offloaded runs use. The default is HistMode:
+	// robust to any skew, so the planner never triggers a fallback rerun.
+	Format partition.Format
+	// ForceCPU / ForceFPGA pin the decision (ForceCPU wins if both).
+	ForceCPU  bool
+	ForceFPGA bool
+	// CalibrationTuples sizes the CPU micro-benchmark (default 1<<18).
+	CalibrationTuples int
+}
+
+// NewPlanner returns a planner.
+func NewPlanner(cfg PlannerConfig) *Planner {
+	if cfg.Platform == nil {
+		cfg.Platform = platform.XeonFPGA()
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = 8192
+	}
+	if cfg.CalibrationTuples <= 0 {
+		cfg.CalibrationTuples = 1 << 18
+	}
+	return &Planner{cfg: cfg}
+}
+
+// CPUEstimate returns the predicted CPU partitioning time for n tuples.
+func (p *Planner) CPUEstimate(n int) time.Duration {
+	p.calibrate()
+	return time.Duration(float64(n) / p.cpuTuplesPerSec * float64(time.Second))
+}
+
+// FPGAEstimate returns the cost model's predicted FPGA partitioning time
+// for n tuples, including the fixed pipeline/flush latency.
+func (p *Planner) FPGAEstimate(n int) time.Duration {
+	m := model.ForMode(model.Mode{Hist: p.cfg.Format == partition.HistMode}, p.cfg.Platform, int64(n))
+	sec := float64(n) / m.TotalRate()
+	return time.Duration(sec * float64(time.Second))
+}
+
+// ShouldOffload reports whether the FPGA is predicted to be faster for n
+// tuples.
+func (p *Planner) ShouldOffload(n int) bool {
+	if p.cfg.ForceCPU {
+		return false
+	}
+	if p.cfg.ForceFPGA {
+		return true
+	}
+	return p.FPGAEstimate(n) < p.CPUEstimate(n)
+}
+
+// Partitioner returns the partitioner chosen for an input of n tuples.
+func (p *Planner) Partitioner(n int) (partition.Partitioner, error) {
+	if p.ShouldOffload(n) {
+		return partition.NewFPGA(partition.FPGAOptions{
+			Partitions:      p.cfg.Partitions,
+			Hash:            p.cfg.Hash,
+			Format:          p.cfg.Format,
+			PadFraction:     0.5,
+			Platform:        p.cfg.Platform,
+			FallbackThreads: p.cfg.Threads,
+		})
+	}
+	return partition.NewCPU(partition.CPUOptions{
+		Partitions: p.cfg.Partitions,
+		Hash:       p.cfg.Hash,
+		Threads:    p.cfg.Threads,
+	})
+}
+
+// calibrate measures the host's partitioning rate once.
+func (p *Planner) calibrate() {
+	p.calOnce.Do(func() {
+		n := p.cfg.CalibrationTuples
+		rel, err := workload.NewGenerator(1).Relation(workload.Random, workload.Width8, n)
+		if err != nil {
+			p.cpuTuplesPerSec = 100e6 // conservative default
+			return
+		}
+		cpu, err := partition.NewCPU(partition.CPUOptions{
+			Partitions: p.cfg.Partitions,
+			Hash:       p.cfg.Hash,
+			Threads:    p.cfg.Threads,
+		})
+		if err != nil {
+			p.cpuTuplesPerSec = 100e6
+			return
+		}
+		res, err := cpu.Partition(rel)
+		if err != nil || res.Elapsed() <= 0 {
+			p.cpuTuplesPerSec = 100e6
+			return
+		}
+		p.cpuTuplesPerSec = float64(n) / res.Elapsed().Seconds()
+	})
+}

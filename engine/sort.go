@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"fpgapart/radixsort"
+)
+
+// Sort is a blocking ORDER BY key operator backed by the parallel LSD radix
+// sort (package radixsort) — the same scatter machinery as the
+// partitioners, applied to full ordering.
+type Sort struct {
+	child   Operator
+	threads int
+
+	out    []uint64
+	pos    int
+	opened bool
+}
+
+// NewSort sorts child's output ascending by key, stable in payload order.
+func NewSort(child Operator, threads int) *Sort {
+	return &Sort{child: child, threads: threads}
+}
+
+func (s *Sort) Open() error {
+	tuples, err := Collect(s.child)
+	if err != nil {
+		return err
+	}
+	radixsort.Tuples(tuples, s.threads)
+	s.out = tuples
+	s.pos = 0
+	s.opened = true
+	return nil
+}
+
+func (s *Sort) Next() (Batch, error) {
+	if !s.opened {
+		return nil, errNotOpen
+	}
+	if s.pos >= len(s.out) {
+		return nil, nil
+	}
+	end := s.pos + DefaultBatchSize
+	if end > len(s.out) {
+		end = len(s.out)
+	}
+	b := Batch(s.out[s.pos:end])
+	s.pos = end
+	return b, nil
+}
+
+func (s *Sort) Close() error {
+	s.opened = false
+	s.out = nil
+	return s.child.Close()
+}

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"testing"
+
+	"fpgapart/radixsort"
+)
+
+func TestSortOperator(t *testing.T) {
+	keys := []uint32{9, 3, 7, 3, 1, 9, 0}
+	s := NewSort(scanOf(t, keys), 2)
+	out, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(keys) {
+		t.Fatalf("%d tuples out", len(out))
+	}
+	if !radixsort.IsSortedByKey(out) {
+		t.Fatalf("not sorted: %v", out)
+	}
+	// Stability: the two 3s keep payload order (payload = input index).
+	var threes []uint32
+	for _, tup := range out {
+		if uint32(tup) == 3 {
+			threes = append(threes, uint32(tup>>32))
+		}
+	}
+	if len(threes) != 2 || threes[0] != 1 || threes[1] != 3 {
+		t.Fatalf("stability lost: payloads %v", threes)
+	}
+}
+
+func TestSortInPipeline(t *testing.T) {
+	// filter → sort → limit gives the smallest k matching keys.
+	keys := make([]uint32, 1000)
+	for i := range keys {
+		keys[i] = uint32(999 - i)
+	}
+	pipe := NewLimit(NewSort(NewFilter(scanOf(t, keys),
+		func(k, _ uint32) bool { return k%2 == 0 }), 2), 3)
+	out, err := Collect(pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0, 2, 4}
+	if len(out) != 3 {
+		t.Fatalf("%d tuples", len(out))
+	}
+	for i, tup := range out {
+		if uint32(tup) != want[i] {
+			t.Fatalf("tuple %d = %d, want %d", i, uint32(tup), want[i])
+		}
+	}
+}
+
+func TestSortEmptyInput(t *testing.T) {
+	s := NewSort(scanOf(t, nil), 1)
+	out, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("%d tuples from empty input", len(out))
+	}
+}
+
+func TestSortNextBeforeOpen(t *testing.T) {
+	s := NewSort(scanOf(t, []uint32{1}), 1)
+	if _, err := s.Next(); err == nil {
+		t.Error("Next before Open succeeded")
+	}
+}

@@ -1,0 +1,89 @@
+// Columnstore demonstrates VRID mode (Section 4.5): a column-store engine
+// hands the FPGA only the key column; the circuit appends a virtual record
+// ID to every key, partitions the <key, VRID> pairs, and the engine
+// materializes full tuples afterwards via the VRIDs. Reading half the bytes
+// raises partitioning throughput — the PAD/VRID bar is the fastest
+// end-to-end configuration in Figure 9.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpgapart/partition"
+	"fpgapart/workload"
+)
+
+func main() {
+	// A column-store relation: keys and payloads in separate arrays.
+	const n = 1 << 21
+	g := workload.NewGenerator(7)
+	rowRel, err := g.Relation(workload.Grid, workload.Width8, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cols := rowRel.ToColumns()
+
+	run := func(layout partition.Layout, rel *workload.Relation) *partition.Result {
+		p, err := partition.NewFPGA(partition.FPGAOptions{
+			Partitions: 8192,
+			Hash:       true, // grid keys would wreck radix partitioning (Figure 3a)
+			Format:     partition.PadMode,
+			Layout:     layout,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := p.Partition(rel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	rid := run(partition.RowStore, rowRel)
+	vrid := run(partition.ColumnStore, cols)
+
+	fmt.Printf("%-10s %12s %14s %12s\n", "mode", "elapsed", "Mtuples/s", "lines read")
+	for _, r := range []*partition.Result{rid, vrid} {
+		mode := "PAD/RID"
+		if r.Stats.LinesRead < rid.Stats.LinesRead {
+			mode = "PAD/VRID"
+		}
+		fmt.Printf("%-10s %12v %14.1f %12d\n",
+			mode, r.Elapsed(), float64(n)/r.Elapsed().Seconds()/1e6, r.Stats.LinesRead)
+	}
+	fmt.Printf("\nVRID reads %.1fx fewer cache lines (keys only)\n",
+		float64(rid.Stats.LinesRead)/float64(vrid.Stats.LinesRead))
+
+	// Materialization: the partitions contain <key, VRID>; the engine joins
+	// them back to the payload column. This is the extra cost VRID defers —
+	// the same late materialization a column store performs anyway.
+	var sample []string
+	materialized := 0
+	for p := 0; p < vrid.NumPartitions() && len(sample) < 3; p++ {
+		vrid.Each(p, func(key, v uint32) {
+			payload := cols.Payloads[v]
+			if len(sample) < 3 {
+				sample = append(sample, fmt.Sprintf("partition %d: key=%#x VRID=%d payload=%d", p, key, v, payload))
+			}
+			materialized++
+		})
+	}
+	fmt.Println("\nmaterialization through VRIDs:")
+	for _, s := range sample {
+		fmt.Println("  " + s)
+	}
+
+	// Verify the full materialization round-trips.
+	total := 0
+	for p := 0; p < vrid.NumPartitions(); p++ {
+		vrid.Each(p, func(key, v uint32) {
+			if cols.Keys[v] != key {
+				log.Fatalf("VRID %d: key %#x does not match column %#x", v, key, cols.Keys[v])
+			}
+			total++
+		})
+	}
+	fmt.Printf("\nmaterialized and verified all %d tuples\n", total)
+}

@@ -1,0 +1,74 @@
+// Skewhandling shows the PAD/HIST trade-off of Section 5.4: PAD mode
+// partitions in a single pass but preassigns fixed partition sizes, so a
+// Zipf-skewed relation overflows it and the system falls back to the CPU;
+// HIST mode pays a second pass for a histogram and survives any skew.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpgapart/partition"
+	"fpgapart/workload"
+)
+
+func main() {
+	const n = 1 << 20
+	g := workload.NewGenerator(3)
+
+	for _, zipf := range []float64{0.0, 0.5, 1.0} {
+		var rel *workload.Relation
+		var err error
+		if zipf == 0 {
+			rel, err = g.Relation(workload.Random, workload.Width8, n)
+		} else {
+			rel, err = g.ZipfRelation(zipf, n, workload.Width8, n)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- Zipf factor %.2f ---\n", zipf)
+
+		pad, err := partition.NewFPGA(partition.FPGAOptions{
+			Partitions:  8192,
+			Hash:        true,
+			Format:      partition.PadMode,
+			PadFraction: 0.15, // a realistic padding size
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := pad.Partition(rel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.FellBack() {
+			fmt.Printf("PAD:  overflowed after %d cycles — fell back to the CPU partitioner (total %v)\n",
+				res.Stats.Cycles, res.Elapsed())
+		} else {
+			fmt.Printf("PAD:  single pass, %v (%d dummy tuples padding)\n", res.Elapsed(), res.Stats.Dummies)
+		}
+
+		hist, err := partition.NewFPGA(partition.FPGAOptions{
+			Partitions: 8192,
+			Hash:       true,
+			Format:     partition.HistMode,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err = hist.Partition(rel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		max := int64(0)
+		for p := 0; p < res.NumPartitions(); p++ {
+			if c := res.Count(p); c > max {
+				max = c
+			}
+		}
+		fmt.Printf("HIST: two passes, %v — handles the skew (largest partition: %d of %d tuples)\n\n",
+			res.Elapsed(), max, n)
+	}
+	fmt.Println("paper: PAD fails for realistic padding beyond Zipf 0.25; HIST handles any factor")
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV runs experiment id and writes its data series as CSV — the
+// plot-ready companion to the human-readable renderers. Every experiment in
+// All() supports CSV export.
+func WriteCSV(cfg Config, id string, w io.Writer) error {
+	gen, ok := csvWriters()[id]
+	if !ok {
+		return fmt.Errorf("experiments: no CSV writer for %q", id)
+	}
+	cw := csv.NewWriter(w)
+	if err := gen(cfg, cw); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVIDs lists the experiments WriteCSV accepts.
+func CSVIDs() []string {
+	var ids []string
+	for _, e := range All() {
+		if _, ok := csvWriters()[e.ID]; ok {
+			ids = append(ids, e.ID)
+		}
+	}
+	return ids
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+func d(v int64) string   { return strconv.FormatInt(v, 10) }
+
+func csvWriters() map[string]func(Config, *csv.Writer) error {
+	return map[string]func(Config, *csv.Writer) error{
+		"table1": func(cfg Config, w *csv.Writer) error {
+			res, err := RunTable1(cfg)
+			if err != nil {
+				return err
+			}
+			w.Write([]string{"last_writer", "pattern", "seconds"})
+			for _, r := range res.Rows {
+				pattern := "sequential"
+				if r.Random {
+					pattern = "random"
+				}
+				w.Write([]string{r.LastWriter.String(), pattern, f(r.Seconds)})
+			}
+			return nil
+		},
+		"fig2": func(cfg Config, w *csv.Writer) error {
+			res, err := RunFigure2(cfg)
+			if err != nil {
+				return err
+			}
+			w.Write([]string{"read_fraction", "cpu_alone", "cpu_interfered", "fpga_alone", "fpga_interfered", "host_measured"})
+			for _, p := range res.Points {
+				w.Write([]string{f(p.ReadFraction), f(p.CPUAlone), f(p.CPUInterfered), f(p.FPGAAlone), f(p.FPGAInterfered), f(p.HostMeasured)})
+			}
+			return nil
+		},
+		"fig3": func(cfg Config, w *csv.Writer) error {
+			res, err := RunFigure3(cfg)
+			if err != nil {
+				return err
+			}
+			w.Write([]string{"distribution", "method", "empty", "min", "p25", "p50", "p75", "max", "imbalance"})
+			for _, s := range res.Series {
+				method := "radix"
+				if s.Hash {
+					method = "hash"
+				}
+				w.Write([]string{s.Distribution.String(), method, strconv.Itoa(s.EmptyParts),
+					d(s.MinTuples), d(s.P25), d(s.P50), d(s.P75), d(s.MaxTuples), f(s.Imbalance)})
+			}
+			return nil
+		},
+		"fig4": func(cfg Config, w *csv.Writer) error {
+			res, err := RunFigure4(cfg)
+			if err != nil {
+				return err
+			}
+			w.Write([]string{"distribution", "method", "threads", "mtuples_per_s"})
+			for _, p := range res.Points {
+				method := "radix"
+				if p.Hash {
+					method = "hash"
+				}
+				w.Write([]string{p.Distribution.String(), method, strconv.Itoa(p.Threads), f(p.MTuplesPerS)})
+			}
+			return nil
+		},
+		"table2": func(cfg Config, w *csv.Writer) error {
+			res, err := RunTable2(cfg)
+			if err != nil {
+				return err
+			}
+			w.Write([]string{"tuple_width", "logic_pct", "bram_pct", "dsp_pct", "alms", "m20ks", "dsps"})
+			for _, r := range res.Rows {
+				w.Write([]string{strconv.Itoa(r.TupleWidth), f(r.LogicPct), f(r.BRAMPct), f(r.DSPPct),
+					strconv.Itoa(r.ALMs), strconv.Itoa(r.M20Ks), strconv.Itoa(r.DSPBlocks)})
+			}
+			return nil
+		},
+		"fig8": func(cfg Config, w *csv.Writer) error {
+			res, err := RunFigure8(cfg)
+			if err != nil {
+				return err
+			}
+			w.Write([]string{"tuple_width", "mtuples_per_s", "gbps", "model_mtuples_per_s"})
+			for _, p := range res.Points {
+				w.Write([]string{strconv.Itoa(p.TupleWidth), f(p.MTuplesPerS), f(p.GBps), f(p.ModelMTuplesPerS)})
+			}
+			return nil
+		},
+		"fig9": func(cfg Config, w *csv.Writer) error {
+			res, err := RunFigure9(cfg)
+			if err != nil {
+				return err
+			}
+			w.Write([]string{"configuration", "mtuples_per_s", "model", "paper", "reference"})
+			for _, b := range res.Bars {
+				w.Write([]string{b.Name, f(b.MTuplesPerS), f(b.Model), f(b.Paper), strconv.FormatBool(b.Reference)})
+			}
+			return nil
+		},
+		"model": func(cfg Config, w *csv.Writer) error {
+			res, err := RunModelValidation(cfg)
+			if err != nil {
+				return err
+			}
+			w.Write([]string{"mode", "ratio", "bandwidth_gbps", "predicted_tuples_per_s", "paper_tuples_per_s"})
+			for _, v := range res.Rows {
+				w.Write([]string{v.Mode, f(v.Ratio), f(v.Bandwidth), f(v.Predicted), f(v.Paper)})
+			}
+			return nil
+		},
+		"fig10": func(cfg Config, w *csv.Writer) error {
+			res, err := RunFigure10(cfg)
+			if err != nil {
+				return err
+			}
+			writeJoinHeader(w, true)
+			for _, p := range res.Points {
+				writeJoinPoint(w, p, true, "")
+			}
+			return nil
+		},
+		"fig11": func(cfg Config, w *csv.Writer) error {
+			res, err := RunFigure11(cfg)
+			if err != nil {
+				return err
+			}
+			writeJoinHeader(w, false)
+			for id, pts := range res.Results {
+				for _, p := range pts {
+					writeJoinPoint(w, p, false, string(id))
+				}
+			}
+			return nil
+		},
+		"fig12": func(cfg Config, w *csv.Writer) error {
+			res, err := RunFigure12(cfg)
+			if err != nil {
+				return err
+			}
+			writeJoinHeader(w, false)
+			for id, pts := range res.Results {
+				for _, p := range pts {
+					writeJoinPoint(w, p, false, string(id))
+				}
+			}
+			return nil
+		},
+		"fig13": func(cfg Config, w *csv.Writer) error {
+			res, err := RunFigure13(cfg)
+			if err != nil {
+				return err
+			}
+			w.Write([]string{"zipf", "system", "partition_s", "build_probe_s", "total_s", "model_partition_s"})
+			for i, p := range res.Points {
+				w.Write([]string{f(res.Factors[i]), p.System, f(p.PartitionSec), f(p.BuildProbeSec), f(p.TotalSec), f(p.ModelPartitionSec)})
+			}
+			return nil
+		},
+		"skewdetect": func(cfg Config, w *csv.Writer) error {
+			res, err := RunSkewDetect(cfg)
+			if err != nil {
+				return err
+			}
+			w.Write([]string{"zipf", "seed", "overflowed", "detected_at_fraction"})
+			for _, p := range res.Points {
+				w.Write([]string{f(p.ZipfFactor), d(p.Seed), strconv.FormatBool(p.Overflowed), f(p.DetectedAtFraction)})
+			}
+			return nil
+		},
+		"future": func(cfg Config, w *csv.Writer) error {
+			res, err := RunFuture(cfg)
+			if err != nil {
+				return err
+			}
+			w.Write([]string{"platform", "mtuples_per_s"})
+			for _, r := range res.Rows {
+				w.Write([]string{r.Platform, f(r.MTuplesPerS)})
+			}
+			return nil
+		},
+		"dist": func(cfg Config, w *csv.Writer) error {
+			res, err := RunDistributed(cfg)
+			if err != nil {
+				return err
+			}
+			w.Write([]string{"nodes", "backend", "partition_s", "exchange_s", "join_s", "total_s", "bytes_exchanged"})
+			for _, r := range res.Rows {
+				backend := "cpu"
+				if r.FPGA {
+					backend = "fpga"
+				}
+				w.Write([]string{strconv.Itoa(r.Nodes), backend, f(r.PartitionSec), f(r.ExchangeSec), f(r.JoinSec), f(r.TotalSec), d(r.BytesExchanged)})
+			}
+			return nil
+		},
+		"compress": func(cfg Config, w *csv.Writer) error {
+			res, err := RunCompress(cfg)
+			if err != nil {
+				return err
+			}
+			w.Write([]string{"run_length", "rle_ratio", "plain_mtps", "compressed_mtps"})
+			for _, r := range res.Rows {
+				w.Write([]string{strconv.Itoa(r.AvgRunLength), f(r.Ratio), f(r.PlainMTps), f(r.CompMTps)})
+			}
+			return nil
+		},
+	}
+}
+
+func writeJoinHeader(w *csv.Writer, withParts bool) {
+	cols := []string{"workload", "system", "threads", "partition_s", "build_probe_s", "total_s", "model_partition_s", "fell_back"}
+	if withParts {
+		cols = append([]string{"partitions"}, cols...)
+	}
+	w.Write(cols)
+}
+
+func writeJoinPoint(w *csv.Writer, p JoinPoint, withParts bool, workload string) {
+	row := []string{workload, p.System, strconv.Itoa(p.Threads), f(p.PartitionSec),
+		f(p.BuildProbeSec), f(p.TotalSec), f(p.ModelPartitionSec), strconv.FormatBool(p.FellBack)}
+	if withParts {
+		row = append([]string{strconv.Itoa(p.Partitions)}, row...)
+	}
+	w.Write(row)
+}

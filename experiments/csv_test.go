@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestCSVIDsCoverAllExperiments(t *testing.T) {
+	ids := CSVIDs()
+	if len(ids) != len(All()) {
+		t.Fatalf("CSV writers cover %d of %d experiments", len(ids), len(All()))
+	}
+}
+
+func TestWriteCSVUnknownID(t *testing.T) {
+	if err := WriteCSV(tiny(), "nope", &bytes.Buffer{}); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestWriteCSVFastExperiments(t *testing.T) {
+	// The cheap experiments run here; the expensive ones share the same
+	// writer scaffolding and are covered by the full-suite test below.
+	for _, id := range []string{"table1", "table2", "model", "fig3"} {
+		var buf bytes.Buffer
+		if err := WriteCSV(tiny(), id, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		rows, err := csv.NewReader(&buf).ReadAll()
+		if err != nil {
+			t.Fatalf("%s: invalid csv: %v", id, err)
+		}
+		if len(rows) < 2 {
+			t.Errorf("%s: only %d rows", id, len(rows))
+		}
+		// Header and data rows have matching widths (csv.Reader enforces),
+		// and headers are lowercase identifiers.
+		for _, col := range rows[0] {
+			if col != strings.ToLower(col) || strings.Contains(col, " ") {
+				t.Errorf("%s: header %q not snake_case", id, col)
+			}
+		}
+	}
+}
+
+func TestWriteCSVAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, id := range CSVIDs() {
+		var buf bytes.Buffer
+		if err := WriteCSV(tiny(), id, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if _, err := csv.NewReader(&buf).ReadAll(); err != nil {
+			t.Fatalf("%s: invalid csv: %v", id, err)
+		}
+	}
+}

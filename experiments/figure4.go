@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fpgapart/internal/cpupart"
+	"fpgapart/workload"
+)
+
+// Figure4Point is one measurement of Figure 4: CPU partitioning throughput
+// for a distribution/method at a thread count.
+type Figure4Point struct {
+	Distribution workload.Distribution
+	Hash         bool
+	Threads      int
+	MTuplesPerS  float64
+}
+
+// Figure4Result is the full sweep.
+type Figure4Result struct {
+	Tuples int
+	Points []Figure4Point
+}
+
+// RunFigure4 measures the software partitioner (8 B tuples, 8192
+// partitions) with radix partitioning on each key distribution and with
+// hash partitioning, across the thread sweep. The real CPU of the machine
+// running this is measured — absolute numbers differ from the paper's Xeon,
+// the shape (radix ≈ hash once memory-bound; throughput scales with
+// threads) is what reproduces.
+func RunFigure4(cfg Config) (*Figure4Result, error) {
+	cfg = cfg.WithDefaults()
+	n := int(128e6 * cfg.Scale)
+	if n < 1<<15 {
+		n = 1 << 15
+	}
+	const parts = 8192
+	res := &Figure4Result{Tuples: n}
+	type variant struct {
+		d    workload.Distribution
+		hash bool
+	}
+	variants := []variant{
+		{workload.Linear, false},
+		{workload.Random, false},
+		{workload.Grid, false},
+		{workload.ReverseGrid, false},
+		// Hash partitioning delivers the same throughput for every key
+		// distribution (Figure 4); one representative suffices.
+		{workload.Random, true},
+	}
+	for _, v := range variants {
+		rel, err := workload.NewGenerator(cfg.Seed).Relation(v.d, 8, n)
+		if err != nil {
+			return nil, err
+		}
+		for _, threads := range cfg.threadSweep() {
+			r, err := cpupart.Partition(rel, cpupart.Config{
+				NumPartitions: parts,
+				Hash:          v.hash,
+				Threads:       threads,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, Figure4Point{
+				Distribution: v.d,
+				Hash:         v.hash,
+				Threads:      threads,
+				MTuplesPerS:  float64(n) / r.Elapsed.Seconds() / 1e6,
+			})
+		}
+	}
+	return res, nil
+}
+
+func runFigure4(cfg Config, w io.Writer) error {
+	res, err := RunFigure4(cfg)
+	if err != nil {
+		return err
+	}
+	header(w, "Figure 4: CPU partitioning throughput (Mtuples/s), 8 B tuples, 8192 partitions")
+	fmt.Fprintf(w, "%d tuples per run\n", res.Tuples)
+	fmt.Fprintf(w, "%-26s", "series \\ threads")
+	cfgd := cfg.WithDefaults()
+	for _, t := range cfgd.threadSweep() {
+		fmt.Fprintf(w, "%8d", t)
+	}
+	fmt.Fprintln(w)
+	printSeries := func(name string, match func(Figure4Point) bool) {
+		fmt.Fprintf(w, "%-26s", name)
+		for _, p := range res.Points {
+			if match(p) {
+				fmt.Fprintf(w, "%8.0f", p.MTuplesPerS)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	for _, d := range []workload.Distribution{workload.Linear, workload.Random, workload.Grid, workload.ReverseGrid} {
+		d := d
+		printSeries(fmt.Sprintf("radix (%v)", d), func(p Figure4Point) bool { return !p.Hash && p.Distribution == d })
+	}
+	printSeries("hash (all distributions)", func(p Figure4Point) bool { return p.Hash })
+	fmt.Fprintln(w, "paper shape: hash costs extra at low threads, converges once memory-bound")
+	return nil
+}

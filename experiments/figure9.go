@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fpgapart/internal/cpupart"
+	"fpgapart/internal/model"
+	"fpgapart/partition"
+	"fpgapart/platform"
+	"fpgapart/workload"
+)
+
+// Figure9Bar is one bar of Figure 9.
+type Figure9Bar struct {
+	Name        string
+	MTuplesPerS float64
+	// Model is the cost model's prediction (0 when not applicable).
+	Model float64
+	// Paper is the paper's reported value for reference.
+	Paper float64
+	// Reference marks bars quoted from related work rather than run here.
+	Reference bool
+}
+
+// Figure9Result is the full bar chart.
+type Figure9Result struct {
+	Tuples int
+	Bars   []Figure9Bar
+}
+
+// RunFigure9 measures end-to-end partitioning throughput of the four FPGA
+// modes on the Xeon+FPGA link, the parallel CPU partitioner on the host, and
+// the raw-wrapper circuit (25.6 GB/s), alongside the related-work reference
+// points the paper plots ([27] 32-core CPU, [37] OpenCL FPGA).
+func RunFigure9(cfg Config) (*Figure9Result, error) {
+	cfg = cfg.WithDefaults()
+	n := int(128e6 * cfg.Scale)
+	if n < 1<<15 {
+		n = 1 << 15
+	}
+	const parts = 8192
+	xeon := platform.XeonFPGA()
+	raw := platform.RawFPGA()
+	res := &Figure9Result{Tuples: n}
+
+	res.Bars = append(res.Bars,
+		Figure9Bar{Name: "[27] CPU (32 cores)", MTuplesPerS: 1100, Paper: 1100, Reference: true},
+		Figure9Bar{Name: "[37] FPGA (OpenCL)", MTuplesPerS: 256, Paper: 256, Reference: true},
+	)
+
+	rel, err := workload.NewGenerator(cfg.Seed).Relation(workload.Random, 8, n)
+	if err != nil {
+		return nil, err
+	}
+	col := rel.ToColumns()
+
+	type mode struct {
+		name   string
+		format partition.Format
+		layout partition.Layout
+		plat   *platform.Platform
+		paper  float64
+		model  model.Mode
+	}
+	modes := []mode{
+		{"HIST/RID", partition.HistMode, partition.RowStore, xeon, 299, model.Mode{Hist: true}},
+		{"HIST/VRID", partition.HistMode, partition.ColumnStore, xeon, 391, model.Mode{Hist: true, VRID: true}},
+		{"PAD/RID", partition.PadMode, partition.RowStore, xeon, 436, model.Mode{}},
+		{"PAD/VRID", partition.PadMode, partition.ColumnStore, xeon, 514, model.Mode{VRID: true}},
+	}
+	for _, m := range modes {
+		bar, err := runFPGAMode(m.name, m.format, m.layout, m.plat, rel, col, n)
+		if err != nil {
+			return nil, err
+		}
+		bar.Paper = m.paper
+		bar.Model = model.ForMode(m.model, m.plat, int64(n)).TotalRate() / 1e6
+		res.Bars = append(res.Bars, *bar)
+	}
+
+	// CPU partitioner, measured at the maximum thread count.
+	cpuRes, err := cpupart.Partition(rel, cpupart.Config{
+		NumPartitions: parts, Hash: true, Threads: cfg.MaxThreads,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Bars = append(res.Bars, Figure9Bar{
+		Name:        fmt.Sprintf("CPU (%d threads, this host)", cfg.MaxThreads),
+		MTuplesPerS: float64(n) / cpuRes.Elapsed.Seconds() / 1e6,
+		Paper:       506,
+	})
+
+	for _, m := range []mode{
+		{"Raw FPGA (HIST)", partition.HistMode, partition.RowStore, raw, 799, model.Mode{Hist: true}},
+		{"Raw FPGA (PAD)", partition.PadMode, partition.RowStore, raw, 1597, model.Mode{}},
+	} {
+		bar, err := runFPGAMode(m.name, m.format, m.layout, m.plat, rel, col, n)
+		if err != nil {
+			return nil, err
+		}
+		bar.Paper = m.paper
+		bar.Model = model.ForMode(m.model, m.plat, int64(n)).TotalRate() / 1e6
+		res.Bars = append(res.Bars, *bar)
+	}
+	return res, nil
+}
+
+func runFPGAMode(name string, format partition.Format, layout partition.Layout,
+	plat *platform.Platform, rel, col *workload.Relation, n int) (*Figure9Bar, error) {
+	in := rel
+	if layout == partition.ColumnStore {
+		in = col
+	}
+	p, err := partition.NewFPGA(partition.FPGAOptions{
+		Partitions:  8192,
+		Hash:        true,
+		Format:      format,
+		Layout:      layout,
+		PadFraction: 0.5,
+		Platform:    plat,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.Partition(in)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure9Bar{
+		Name:        name,
+		MTuplesPerS: float64(n) / r.Elapsed().Seconds() / 1e6,
+	}, nil
+}
+
+func runFigure9(cfg Config, w io.Writer) error {
+	res, err := RunFigure9(cfg)
+	if err != nil {
+		return err
+	}
+	header(w, "Figure 9: partitioning throughput, 8 B tuples, 8192 partitions (Mtuples/s)")
+	fmt.Fprintf(w, "%d tuples per run\n", res.Tuples)
+	fmt.Fprintf(w, "%-28s %10s %10s %10s\n", "configuration", "this repo", "model", "paper")
+	for _, b := range res.Bars {
+		modelStr, note := "-", ""
+		if b.Model > 0 {
+			modelStr = fmt.Sprintf("%.0f", b.Model)
+		}
+		if b.Reference {
+			note = " (quoted)"
+		}
+		fmt.Fprintf(w, "%-28s %10.0f %10s %10.0f%s\n", b.Name, b.MTuplesPerS, modelStr, b.Paper, note)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package hashjoin
+
+import (
+	"testing"
+
+	"fpgapart/workload"
+)
+
+func TestJoinEmptyRelations(t *testing.T) {
+	empty, _ := workload.NewRelation(workload.RowLayout, 8, 0)
+	one, _ := workload.FromKeys([]uint32{7}, 8)
+	cases := []struct{ r, s *workload.Relation }{
+		{empty, empty},
+		{empty, one},
+		{one, empty},
+	}
+	for i, c := range cases {
+		cpu, err := CPU(c.r, c.s, Options{Partitions: 16, Hash: true, Threads: 1})
+		if err != nil {
+			t.Fatalf("case %d cpu: %v", i, err)
+		}
+		if cpu.Matches != 0 {
+			t.Errorf("case %d: %d matches on empty side", i, cpu.Matches)
+		}
+		np, err := NonPartitioned(c.r, c.s, Options{Threads: 1})
+		if err != nil {
+			t.Fatalf("case %d nopart: %v", i, err)
+		}
+		if np.Matches != 0 {
+			t.Errorf("case %d nopart: %d matches", i, np.Matches)
+		}
+	}
+}
+
+func TestJoinSelfJoin(t *testing.T) {
+	rel, err := workload.NewGenerator(31).Relation(workload.Linear, 8, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CPU(rel, rel, Options{Partitions: 64, Hash: true, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unique keys: self-join matches every tuple exactly once.
+	if res.Matches != 4096 {
+		t.Fatalf("self-join matches = %d", res.Matches)
+	}
+}
+
+func TestJoinAllDuplicates(t *testing.T) {
+	keys := make([]uint32, 64)
+	for i := range keys {
+		keys[i] = 5
+	}
+	rel, _ := workload.FromKeys(keys, 8)
+	res, err := CPU(rel, rel, Options{Partitions: 8, Hash: true, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 64*64 {
+		t.Fatalf("cartesian duplicate join: %d matches, want 4096", res.Matches)
+	}
+}

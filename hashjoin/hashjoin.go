@@ -1,0 +1,176 @@
+// Package hashjoin implements the partitioned (radix) hash join of
+// Section 3.3 and its hybrid CPU+FPGA variant (Section 5): both relations
+// are partitioned into cache-sized blocks — on the CPU or on the simulated
+// FPGA — and each partition pair is joined with an in-cache build and probe.
+//
+// The hybrid join charges the simulated FPGA time for the partitioning and
+// the measured CPU time for build+probe, inflated by the platform's
+// cache-coherence penalty (Table 1): the CPU reads partitions last written
+// by the FPGA, so its accesses are snooped on the FPGA socket.
+package hashjoin
+
+import (
+	"fmt"
+	"time"
+
+	"fpgapart/internal/joincore"
+	"fpgapart/partition"
+	"fpgapart/platform"
+	"fpgapart/workload"
+)
+
+// Options configures a join run.
+type Options struct {
+	// Partitions is the fan-out (power of two); the paper's sweet spot for
+	// large relations is 8192.
+	Partitions int
+	// Threads is the build+probe (and CPU partitioning) parallelism;
+	// ≤ 0 uses all cores.
+	Threads int
+	// Hash selects murmur hash partitioning; false selects radix bits.
+	Hash bool
+	// Platform supplies the coherence model for hybrid joins; defaults to
+	// platform.XeonFPGA().
+	Platform *platform.Platform
+	// Format and Layout configure the FPGA partitioner in Hybrid joins.
+	Format partition.Format
+	Layout partition.Layout
+	// PadFraction is the PAD-mode headroom of the FPGA partitioner.
+	PadFraction float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Platform == nil {
+		o.Platform = platform.XeonFPGA()
+	}
+	return o
+}
+
+// Result reports a join run with its phase breakdown.
+type Result struct {
+	Matches  int64
+	Checksum uint64
+
+	// PartitionR and PartitionS are the partitioning times per relation
+	// (measured for CPU, simulated for FPGA). For the hybrid join they
+	// include any aborted-PAD + CPU-fallback cost.
+	PartitionR time.Duration
+	PartitionS time.Duration
+	// Build and Probe are the measured build+probe times; for hybrid joins
+	// they include the coherence snoop penalty.
+	Build time.Duration
+	Probe time.Duration
+
+	// Total is the end-to-end join time.
+	Total time.Duration
+
+	// PartitionerName identifies how the inputs were partitioned.
+	PartitionerName string
+	// CoherencePenalized reports whether the Table 1 snoop penalty was
+	// applied to Build and Probe.
+	CoherencePenalized bool
+	// FellBack reports a PAD-overflow CPU fallback during partitioning.
+	FellBack bool
+
+	Threads int
+}
+
+// PartitionTime returns the combined partitioning time.
+func (r *Result) PartitionTime() time.Duration { return r.PartitionR + r.PartitionS }
+
+// BuildProbeTime returns the combined build and probe time.
+func (r *Result) BuildProbeTime() time.Duration { return r.Build + r.Probe }
+
+// Join partitions R and S with the given partitioner and joins them. This is
+// the generic entry point; CPU and Hybrid are convenience wrappers.
+func Join(r, s *workload.Relation, p partition.Partitioner, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	pr, err := p.Partition(r)
+	if err != nil {
+		return nil, fmt.Errorf("hashjoin: partitioning R: %w", err)
+	}
+	ps, err := p.Partition(s)
+	if err != nil {
+		return nil, fmt.Errorf("hashjoin: partitioning S: %w", err)
+	}
+	bp, err := joincore.BuildProbe(pr, ps, opts.Threads)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Matches:         bp.Matches,
+		Checksum:        bp.Checksum,
+		PartitionR:      pr.Elapsed(),
+		PartitionS:      ps.Elapsed(),
+		Build:           bp.Build,
+		Probe:           bp.Probe,
+		PartitionerName: p.Name(),
+		FellBack:        pr.FellBack() || ps.FellBack(),
+		Threads:         bp.Threads,
+	}
+	// The build scans FPGA-written R partitions sequentially; the probe's
+	// chain lookups random-access them. Apply Table 1's penalties to the
+	// measured times when the partitions were written by the FPGA.
+	if pr.FPGAWritten() || ps.FPGAWritten() {
+		m := opts.Platform.Coherence
+		res.Build = time.Duration(float64(bp.Build) * m.BuildPenalty())
+		res.Probe = time.Duration(float64(bp.Probe) * m.ProbePenalty())
+		res.CoherencePenalized = true
+	}
+	res.Total = res.PartitionR + res.PartitionS + res.Build + res.Probe
+	return res, nil
+}
+
+// CPU runs the pure-CPU radix hash join: parallel software partitioning
+// (Code 2 with software-managed buffers) followed by build+probe.
+func CPU(r, s *workload.Relation, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	p, err := partition.NewCPU(partition.CPUOptions{
+		Partitions: opts.Partitions,
+		Hash:       opts.Hash,
+		Threads:    opts.Threads,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return Join(r, s, p, opts)
+}
+
+// Hybrid runs the paper's hybrid join: partitioning on the (simulated) FPGA,
+// build+probe on the CPU with the coherence penalty applied.
+func Hybrid(r, s *workload.Relation, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	p, err := partition.NewFPGA(partition.FPGAOptions{
+		Partitions:      opts.Partitions,
+		Hash:            opts.Hash,
+		Format:          opts.Format,
+		Layout:          opts.Layout,
+		PadFraction:     opts.PadFraction,
+		Platform:        opts.Platform,
+		FallbackThreads: opts.Threads,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return Join(r, s, p, opts)
+}
+
+// NonPartitioned runs the global-hash-table baseline join without any
+// partitioning phase.
+func NonPartitioned(r, s *workload.Relation, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	bp, err := joincore.NonPartitioned(r, s, opts.Threads)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Matches:         bp.Matches,
+		Checksum:        bp.Checksum,
+		Build:           bp.Build,
+		Probe:           bp.Probe,
+		Total:           bp.Elapsed,
+		PartitionerName: "none",
+		Threads:         bp.Threads,
+	}, nil
+}

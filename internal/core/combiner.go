@@ -1,0 +1,166 @@
+package core
+
+import "fpgapart/internal/fpga"
+
+// combiner is one write combiner module (Section 4.2, Figure 6): it gathers
+// tuples of the same partition into banks of BRAM until a full 64-byte cache
+// line is assembled, then emits the line into its output FIFO.
+//
+// The fill-rate BRAM has a 2-cycle read latency; Code 4's forwarding
+// registers supply the in-flight fill rate whenever the current tuple hits
+// the same partition as either of the previous two, which is exactly when
+// the BRAM's reply would be stale. With forwarding the module accepts one
+// tuple per cycle for any input pattern; the DisableForwarding ablation
+// models the stall the hardware would otherwise need.
+type combiner struct {
+	banks int // tuple slots per cache line
+	wpt   int // words per tuple
+	parts int
+	dummy uint32
+
+	// store is the bank BRAM contents: bank b, partition p at
+	// (b*parts+p)*wpt. fill is the fill-rate BRAM.
+	store []uint64
+	fill  []uint8
+
+	out *fpga.FIFO[outLine]
+
+	// Forwarding registers: the partitions of the previous two accepted
+	// tuples (hash_1d, hash_2d of Code 4).
+	last      [2]uint32
+	lastValid [2]bool
+
+	// Hazard stall state for the DisableForwarding ablation.
+	stall  int
+	served bool
+
+	// Flush scan cursor.
+	flushAddr int
+}
+
+func newCombiner(cfg Config, banks, wpt int, dummy uint32) *combiner {
+	return &combiner{
+		banks: banks,
+		wpt:   wpt,
+		parts: cfg.NumPartitions,
+		dummy: dummy,
+		store: make([]uint64, banks*cfg.NumPartitions*wpt),
+		fill:  make([]uint8, cfg.NumPartitions),
+		out:   fpga.NewFIFO[outLine](cfg.OutFIFODepth),
+	}
+}
+
+// step advances the combiner one clock cycle, consuming at most one tuple
+// from its input FIFO.
+func (cb *combiner) step(in *fpga.FIFO[tup], st *Stats, cfg Config) {
+	if cb.stall > 0 {
+		cb.stall--
+		st.StallsHazard++
+		cb.shiftHazard(0, false)
+		return
+	}
+	if in.Empty() {
+		cb.shiftHazard(0, false)
+		return
+	}
+	if !cb.out.CanPush() {
+		// Back-pressure from the write-back module; not a hazard stall.
+		cb.shiftHazard(0, false)
+		return
+	}
+	t := in.Front()
+	h := t.part
+	// The strawman datapath has no fill-rate BRAM, hence no read hazard.
+	hazard := !cfg.DisableWriteCombiner &&
+		((cb.lastValid[0] && h == cb.last[0]) || (cb.lastValid[1] && h == cb.last[1]))
+	if hazard && cfg.DisableForwarding && !cb.served {
+		// Without forwarding the issued BRAM read must be discarded and
+		// reissued after the in-flight update lands: 2 dead cycles.
+		cb.stall = 2
+		cb.served = true
+		cb.shiftHazard(0, false)
+		return
+	}
+	if hazard {
+		st.ForwardedHazards++
+	}
+	cb.served = false
+	in.Pop()
+
+	if cfg.DisableWriteCombiner {
+		// Strawman datapath: no gathering; each tuple goes out on its own
+		// and the write-back performs a read-modify-write of its line.
+		var l outLine
+		copy(l.words[:cb.wpt], t.words[:cb.wpt])
+		l.part = h
+		l.valid = 1
+		l.single = true
+		cb.out.Push(l)
+		cb.shiftHazard(h, true)
+		return
+	}
+
+	f := int(cb.fill[h])
+	copy(cb.store[(f*cb.parts+int(h))*cb.wpt:], t.words[:cb.wpt])
+	if f == cb.banks-1 {
+		cb.fill[h] = 0
+		cb.out.Push(cb.assemble(h, cb.banks))
+	} else {
+		cb.fill[h] = uint8(f + 1)
+	}
+	cb.shiftHazard(h, true)
+}
+
+// shiftHazard advances the 1d/2d delay registers; bubbles (no accepted
+// tuple) clear the corresponding slot, as the in-flight update has reached
+// the BRAM by then.
+func (cb *combiner) shiftHazard(h uint32, valid bool) {
+	cb.last[1], cb.lastValid[1] = cb.last[0], cb.lastValid[0]
+	cb.last[0], cb.lastValid[0] = h, valid
+}
+
+// assemble builds a cache line for partition h from the first n bank slots;
+// remaining slots are filled with dummy-key tuples.
+func (cb *combiner) assemble(h uint32, n int) outLine {
+	var l outLine
+	for b := 0; b < cb.banks; b++ {
+		dst := l.words[b*cb.wpt : (b+1)*cb.wpt]
+		if b < n {
+			copy(dst, cb.store[(b*cb.parts+int(h))*cb.wpt:(b*cb.parts+int(h))*cb.wpt+cb.wpt])
+		} else {
+			for w := range dst {
+				dst[w] = uint64(cb.dummy) | uint64(cb.dummy)<<32
+			}
+		}
+	}
+	l.part = h
+	l.valid = uint8(n)
+	return l
+}
+
+// idle reports whether the combiner has no work in flight (its banks may
+// still hold partial lines for the flush).
+func (cb *combiner) idle() bool {
+	return cb.stall == 0 && cb.out.Empty()
+}
+
+// flushStep advances the end-of-run flush by one cycle: it inspects one
+// partition address per cycle, emitting a padded partial line if the
+// address holds leftover tuples. It reports whether the scan has finished.
+func (cb *combiner) flushStep() bool {
+	if cb.flushAddr >= cb.parts {
+		return true
+	}
+	f := int(cb.fill[cb.flushAddr])
+	if f == 0 {
+		cb.flushAddr++
+		return cb.flushAddr >= cb.parts
+	}
+	if !cb.out.CanPush() {
+		return false // wait for the write-back to drain
+	}
+	cb.fill[cb.flushAddr] = 0
+	cb.out.Push(cb.assemble(uint32(cb.flushAddr), f))
+	cb.flushAddr++
+	return cb.flushAddr >= cb.parts
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpgapart/codec"
+	"fpgapart/internal/hashutil"
+	"fpgapart/platform"
+	"fpgapart/workload"
+)
+
+// compressible returns n keys with runs (sorted low-cardinality column).
+func compressible(n, cardinality int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint32, 0, n)
+	for len(keys) < n {
+		v := uint32(rng.Intn(cardinality)) + 1
+		run := rng.Intn(64) + 1
+		for i := 0; i < run && len(keys) < n; i++ {
+			keys = append(keys, v)
+		}
+	}
+	return keys
+}
+
+func TestCompressedPartitioningMatchesPlainVRID(t *testing.T) {
+	keys := compressible(30000, 500, 3)
+	col := codec.CompressRLE(keys)
+	rel, err := workload.FromKeys(keys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colRel := rel.ToColumns()
+
+	cfg := Config{NumPartitions: 64, TupleWidth: 8, Hash: true, Format: HIST, Layout: VRID}
+	plain, _, err := mustCircuit(t, cfg).Partition(colRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, stats, err := mustCircuit(t, cfg).PartitionCompressed(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TuplesIn != 30000 || comp.TotalTuples() != 30000 {
+		t.Fatalf("tuples: in=%d out=%d", stats.TuplesIn, comp.TotalTuples())
+	}
+	// Same per-partition counts, and every <key, VRID> pair materializes to
+	// the original key.
+	for p := 0; p < 64; p++ {
+		if plain.Counts[p] != comp.Counts[p] {
+			t.Fatalf("partition %d: plain %d vs compressed %d", p, plain.Counts[p], comp.Counts[p])
+		}
+		comp.Partition(p, func(key, vrid uint32, _ []uint64) {
+			if keys[vrid] != key {
+				t.Fatalf("VRID %d carries %#x, original %#x", vrid, key, keys[vrid])
+			}
+		})
+	}
+}
+
+func TestCompressedReadsOnlyCompressedLines(t *testing.T) {
+	// PAD mode reads the column exactly once; the generous padding absorbs
+	// the skew a low-cardinality column has across partitions.
+	keys := compressible(40000, 100, 5)
+	col := codec.CompressRLE(keys)
+	cfg := Config{NumPartitions: 64, TupleWidth: 8, Hash: true, Format: PAD, Layout: VRID, PadFraction: 4}
+	_, stats, err := mustCircuit(t, cfg).PartitionCompressed(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := int64((col.CompressedBytes() + 63) / 64)
+	if stats.LinesRead != wantLines {
+		t.Errorf("LinesRead = %d, want %d compressed lines", stats.LinesRead, wantLines)
+	}
+}
+
+func TestCompressionSpeedsUpBandwidthBoundPartitioning(t *testing.T) {
+	keys := compressible(1<<19, 200, 7) // highly compressible
+	col := codec.CompressRLE(keys)
+	if col.Ratio() < 4 {
+		t.Fatalf("test column only compresses %.1fx", col.Ratio())
+	}
+	rel, _ := workload.FromKeys(keys, 8)
+	colRel := rel.ToColumns()
+	curve := platform.XeonFPGA().FPGAAlone
+	// HIST for both sides: low-cardinality columns skew the partitions, and
+	// the comparison is cycles-for-cycles under the same two-pass mode.
+	cfg := Config{NumPartitions: 1024, TupleWidth: 8, Hash: true, Format: HIST, Layout: VRID}
+
+	plainCirc, err := NewCircuit(cfg, 200e6, curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plain, err := plainCirc.Partition(colRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compCirc, err := NewCircuit(cfg, 200e6, curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, comp, err := compCirc.PartitionCompressed(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Cycles >= plain.Cycles {
+		t.Errorf("compressed input not faster: %d vs %d cycles", comp.Cycles, plain.Cycles)
+	}
+}
+
+func TestIncompressibleColumnStillCorrect(t *testing.T) {
+	// Unique keys: every value is its own run — RLE is a pessimization
+	// (ratio 0.5) but the result must stay exact.
+	keys := make([]uint32, 10000)
+	for i := range keys {
+		keys[i] = uint32(i + 1)
+	}
+	col := codec.CompressRLE(keys)
+	if col.Ratio() >= 1 {
+		t.Fatalf("unique keys should not compress: %v", col.Ratio())
+	}
+	cfg := Config{NumPartitions: 32, TupleWidth: 8, Hash: true, Format: HIST, Layout: VRID}
+	out, _, err := mustCircuit(t, cfg).PartitionCompressed(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TotalTuples() != 10000 {
+		t.Fatalf("TotalTuples = %d", out.TotalTuples())
+	}
+	bits := hashutil.Log2(32)
+	out.Partition(3, func(key, _ uint32, _ []uint64) {
+		if hashutil.PartitionIndex32(key, bits, true) != 3 {
+			t.Fatalf("misplaced key %#x", key)
+		}
+	})
+}
+
+func TestCompressedRequiresVRID(t *testing.T) {
+	col := codec.CompressRLE([]uint32{1, 1, 2})
+	cfg := Config{NumPartitions: 8, TupleWidth: 8, Format: PAD, Layout: RID}
+	if _, _, err := mustCircuit(t, cfg).PartitionCompressed(col); err == nil {
+		t.Error("RID circuit accepted compressed input")
+	}
+}
+
+func TestCompressedRejectsCorruptColumn(t *testing.T) {
+	col := &codec.RLEColumn{Runs: []codec.Run{{Value: 1, Length: 3}}, N: 5}
+	cfg := Config{NumPartitions: 8, TupleWidth: 8, Format: PAD, Layout: VRID}
+	if _, _, err := mustCircuit(t, cfg).PartitionCompressed(col); err == nil {
+		t.Error("inconsistent column accepted")
+	}
+}
+
+func TestCompressedEmptyColumn(t *testing.T) {
+	col := codec.CompressRLE(nil)
+	cfg := Config{NumPartitions: 8, TupleWidth: 8, Format: HIST, Layout: VRID}
+	out, _, err := mustCircuit(t, cfg).PartitionCompressed(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TotalTuples() != 0 {
+		t.Errorf("tuples from empty column: %d", out.TotalTuples())
+	}
+}
+
+func TestPropertyCompressedEqualsPlain(t *testing.T) {
+	f := func(seed int64, cardRaw uint8) bool {
+		card := int(cardRaw)%50 + 1
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(5000) + 1
+		keys := compressible(n, card, seed)
+		col := codec.CompressRLE(keys)
+		rel, _ := workload.FromKeys(keys, 8)
+		cfg := Config{NumPartitions: 16, TupleWidth: 8, Hash: true, Format: HIST, Layout: VRID}
+		c1, err := NewCircuit(cfg, 200e6, testCurve())
+		if err != nil {
+			return false
+		}
+		plain, _, err := c1.Partition(rel.ToColumns())
+		if err != nil {
+			return false
+		}
+		c2, err := NewCircuit(cfg, 200e6, testCurve())
+		if err != nil {
+			return false
+		}
+		comp, _, err := c2.PartitionCompressed(col)
+		if err != nil {
+			return false
+		}
+		for p := 0; p < 16; p++ {
+			if plain.Counts[p] != comp.Counts[p] {
+				return false
+			}
+		}
+		return comp.TotalTuples() == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+// Output is the partitioned relation the circuit writes back to shared
+// memory: a contiguous array of 64-byte cache lines, with each partition
+// occupying a line-aligned region. Partially filled lines (produced by the
+// flush, Section 4.2) carry dummy keys in their unused slots; consumers skip
+// tuples with the dummy key, exactly as the paper's software does.
+type Output struct {
+	NumPartitions int
+	// TupleWidth is the output tuple width in bytes (8 in VRID mode).
+	TupleWidth int
+	DummyKey   uint32
+
+	// Lines is the output buffer: 8 words per 64-byte cache line.
+	Lines []uint64
+	// Base[p] is the first cache line of partition p.
+	Base []int64
+	// LinesUsed[p] is how many lines of partition p's region were written.
+	LinesUsed []int64
+	// Counts[p] is the number of valid (non-dummy) tuples in partition p.
+	// In HIST mode this is the histogram; in PAD mode the circuit's offset
+	// counters provide it.
+	Counts []int64
+}
+
+// wordsPerTuple returns the output tuple size in 64-bit words.
+func (o *Output) wordsPerTuple() int { return o.TupleWidth / 8 }
+
+// TuplesPerLine returns how many output tuples one cache line holds.
+func (o *Output) TuplesPerLine() int { return 64 / o.TupleWidth }
+
+// TotalTuples returns the number of valid tuples across all partitions.
+func (o *Output) TotalTuples() int64 {
+	var n int64
+	for _, c := range o.Counts {
+		n += c
+	}
+	return n
+}
+
+// TotalLinesUsed returns the number of cache lines actually written.
+func (o *Output) TotalLinesUsed() int64 {
+	var n int64
+	for _, u := range o.LinesUsed {
+		n += u
+	}
+	return n
+}
+
+// Dummies returns how many dummy tuples pad the written lines.
+func (o *Output) Dummies() int64 {
+	return o.TotalLinesUsed()*int64(o.TuplesPerLine()) - o.TotalTuples()
+}
+
+// Partition iterates the valid tuples of partition p in write order, calling
+// fn with each tuple's key, 4-byte payload (the VRID in VRID mode) and the
+// tuple's words. Dummy-key tuples are skipped. fn must not retain words.
+func (o *Output) Partition(p int, fn func(key, payload uint32, words []uint64)) {
+	wpt := o.wordsPerTuple()
+	tpl := o.TuplesPerLine()
+	start := o.Base[p] * 8
+	for l := int64(0); l < o.LinesUsed[p]; l++ {
+		line := o.Lines[start+l*8 : start+l*8+8]
+		for t := 0; t < tpl; t++ {
+			words := line[t*wpt : (t+1)*wpt]
+			key := uint32(words[0])
+			if key == o.DummyKey {
+				continue
+			}
+			fn(key, uint32(words[0]>>32), words)
+		}
+	}
+}
+
+// PartitionPairs returns partition p's valid tuples as (key, payload) pairs.
+// Convenience for the join and for tests.
+func (o *Output) PartitionPairs(p int) (keys, payloads []uint32) {
+	keys = make([]uint32, 0, o.Counts[p])
+	payloads = make([]uint32, 0, o.Counts[p])
+	o.Partition(p, func(k, pay uint32, _ []uint64) {
+		keys = append(keys, k)
+		payloads = append(payloads, pay)
+	})
+	return keys, payloads
+}
+
+// OutputBytes returns the size of the allocated output region in bytes (the
+// intermediate memory cost PAD mode inflates and HIST mode minimizes).
+func (o *Output) OutputBytes() int64 {
+	return int64(len(o.Lines)) * 8
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"fpgapart/platform"
+	"fpgapart/workload"
+)
+
+// runMode partitions n 8-byte tuples with the given mode on the given curve
+// and returns throughput in million tuples per second.
+func runMode(t *testing.T, format Format, layout Layout, curve platform.BandwidthCurve, n int) float64 {
+	t.Helper()
+	g := workload.NewGenerator(33)
+	rel, err := g.Relation(workload.Random, 8, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout == VRID {
+		rel = rel.ToColumns()
+	}
+	cfg := Config{NumPartitions: 8192, TupleWidth: 8, Hash: true, Format: format, Layout: layout, PadFraction: 0.5}
+	c, err := NewCircuit(cfg, 200e6, curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := c.Partition(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.ThroughputTuplesPerSec() / 1e6
+}
+
+// TestFigure9OperatingPoints verifies the simulated end-to-end throughputs
+// land near the paper's measurements (Figure 9, 8192 partitions, 8 B
+// tuples): HIST/RID 299, HIST/VRID 391, PAD/RID 436, PAD/VRID 514 million
+// tuples/s. Tolerances are ±12% — the paper's own model matches within 10%.
+func TestFigure9OperatingPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput calibration is slow")
+	}
+	curve := platform.XeonFPGA().FPGAAlone
+	// Large enough that the fixed 65540-cycle flush (Section 4.6) fades;
+	// the paper uses 128 M tuples, where it is negligible.
+	const n = 8 << 20
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if got < want*0.88 || got > want*1.12 {
+			t.Errorf("%s = %.0f Mtuples/s, want %.0f ± 12%%", name, got, want)
+		} else {
+			t.Logf("%s = %.0f Mtuples/s (paper: %.0f)", name, got, want)
+		}
+	}
+	check("HIST/RID", runMode(t, HIST, RID, curve, n), 299)
+	check("HIST/VRID", runMode(t, HIST, VRID, curve, n), 391)
+	check("PAD/RID", runMode(t, PAD, RID, curve, n), 436)
+	check("PAD/VRID", runMode(t, PAD, VRID, curve, n), 514)
+}
+
+// TestRawFPGAThroughput verifies the raw-wrapper numbers (Section 4.7): with
+// a 25.6 GB/s link the circuit is compute-bound at one cache line per cycle,
+// 1.6 billion tuples/s in PAD mode and half that with HIST's two passes.
+func TestRawFPGAThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput calibration is slow")
+	}
+	curve := platform.RawFPGA().FPGAAlone
+	const n = 8 << 20
+	pad := runMode(t, PAD, RID, curve, n)
+	hist := runMode(t, HIST, RID, curve, n)
+	if pad < 1597*0.88 || pad > 1600*1.05 {
+		t.Errorf("raw PAD = %.0f Mtuples/s, want ~1597", pad)
+	}
+	if hist < 799*0.88 || hist > 800*1.08 {
+		t.Errorf("raw HIST = %.0f Mtuples/s, want ~799", hist)
+	}
+	t.Logf("raw PAD = %.0f, raw HIST = %.0f Mtuples/s (paper: 1597, 799)", pad, hist)
+}
+
+// TestOneCacheLinePerCycle verifies the headline hardware property: with an
+// unconstrained link, the partitioning pass consumes one cache line per
+// clock cycle — cycles ≈ lines + pipeline latency + flush.
+func TestOneCacheLinePerCycle(t *testing.T) {
+	g := workload.NewGenerator(8)
+	const n = 1 << 19
+	rel, err := g.Relation(workload.Random, 8, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A link fast enough to never back-pressure: 51.2 GB/s = 1 read and 1
+	// write line per cycle with margin.
+	curve := platform.BandwidthCurve{Points: []float64{51.2, 51.2}}
+	cfg := Config{NumPartitions: 1024, TupleWidth: 8, Hash: true, Format: PAD, Layout: RID, PadFraction: 0.5}
+	c, err := NewCircuit(cfg, 200e6, curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := c.Partition(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := int64(n / 8)
+	// Allow latency, flush and scheduling slack of a few thousand cycles.
+	slack := int64(8 * 1024 * 2)
+	if stats.PartitionCycles > lines+slack/2 {
+		t.Errorf("partition pass took %d cycles for %d lines — not one line per cycle", stats.PartitionCycles, lines)
+	}
+	if stats.Cycles > lines+slack {
+		t.Errorf("total %d cycles for %d lines + flush", stats.Cycles, lines)
+	}
+}
+
+// TestTupleWidthThroughputShape reproduces the Figure 8 shape: tuples/s
+// halves with each doubling of tuple width while GB/s processed stays flat.
+func TestTupleWidthThroughputShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput calibration is slow")
+	}
+	curve := platform.XeonFPGA().FPGAAlone
+	g := workload.NewGenerator(12)
+	var tput [4]float64
+	var gbps [4]float64
+	widths := []int{8, 16, 32, 64}
+	for i, w := range widths {
+		n := (8 << 20) / w * 2 // constant bytes across widths
+		rel, err := g.Relation(workload.Random, w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{NumPartitions: 8192, TupleWidth: w, Hash: true, Format: HIST, Layout: RID}
+		c, err := NewCircuit(cfg, 200e6, curve)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats, err := c.Partition(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tput[i] = stats.ThroughputTuplesPerSec()
+		gbps[i] = stats.DataProcessedGBps()
+	}
+	for i := 1; i < 4; i++ {
+		ratio := tput[i-1] / tput[i]
+		if ratio < 1.7 || ratio > 2.3 {
+			t.Errorf("throughput ratio %dB/%dB = %.2f, want ~2", widths[i-1], widths[i], ratio)
+		}
+		if gbps[i] < gbps[0]*0.8 || gbps[i] > gbps[0]*1.25 {
+			t.Errorf("GB/s at %dB = %.2f, want ≈ %.2f (flat)", widths[i], gbps[i], gbps[0])
+		}
+	}
+}

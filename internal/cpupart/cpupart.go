@@ -1,0 +1,418 @@
+// Package cpupart implements the software data partitioners of Section 3:
+// the state-of-the-art single-pass radix/hash partitioner with
+// software-managed cache-resident buffers (Code 2, following Balkesen et
+// al.), the naive tuple-at-a-time scatter (Code 1), and a Manegold-style
+// multi-pass partitioner that limits per-pass fan-out. These run for real on
+// the host CPU and are measured, not simulated — they are the baseline the
+// FPGA circuit is compared against.
+//
+// The partitioners operate on 8-byte tuples (<4B key, 4B payload> packed
+// into a uint64), the layout of all the paper's CPU experiments.
+package cpupart
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fpgapart/internal/hashutil"
+	"fpgapart/workload"
+)
+
+// Algorithm selects the partitioning strategy.
+type Algorithm int
+
+const (
+	// Buffered is Code 2: one pass with per-partition software-managed
+	// write-combining buffers, preceded by a histogram pass for
+	// synchronization-free parallel output.
+	Buffered Algorithm = iota
+	// Naive is Code 1: tuple-at-a-time scatter straight to the output,
+	// trashing TLB and caches at high fan-outs.
+	Naive
+	// MultiPass limits each pass's fan-out (Manegold et al.): partitions
+	// in two passes when the fan-out exceeds the per-pass limit.
+	MultiPass
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Buffered:
+		return "buffered"
+	case Naive:
+		return "naive"
+	case MultiPass:
+		return "multipass"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// BufferTuples is the software-managed buffer size: 8 tuples × 8 bytes =
+// one 64-byte cache line, flushed with a single copy that stands in for the
+// non-temporal SIMD store of Wassenberg et al.
+const BufferTuples = 8
+
+// maxFanOutPerPass bounds a single pass of the MultiPass algorithm, chosen
+// to stay within typical TLB coverage.
+const maxFanOutPerPass = 512
+
+// Config describes a partitioning run.
+type Config struct {
+	NumPartitions int
+	// Hash selects murmur hash partitioning; false selects radix bits.
+	Hash bool
+	// Threads is the parallelism (≤ 0 means GOMAXPROCS).
+	Threads   int
+	Algorithm Algorithm
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.Threads <= 0 {
+		cfg.Threads = runtime.GOMAXPROCS(0)
+	}
+	return cfg
+}
+
+func (c *Config) validate() error {
+	if !hashutil.IsPowerOfTwo(c.NumPartitions) || c.NumPartitions < 2 {
+		return fmt.Errorf("cpupart: NumPartitions %d must be a power of two ≥ 2", c.NumPartitions)
+	}
+	return nil
+}
+
+// Result is a partitioned relation: tuples stored contiguously by
+// partition, with exact (dummy-free) boundaries.
+type Result struct {
+	NumPartitions int
+	// Data holds the shuffled tuples; partition p is
+	// Data[Offsets[p]:Offsets[p+1]].
+	Data []uint64
+	// Offsets has NumPartitions+1 entries (prefix sum of the histogram).
+	Offsets []int64
+	// Elapsed is the measured wall time of the partitioning.
+	Elapsed time.Duration
+	Threads int
+}
+
+// Count returns the number of tuples in partition p.
+func (r *Result) Count(p int) int64 { return r.Offsets[p+1] - r.Offsets[p] }
+
+// Partition returns partition p's tuples.
+func (r *Result) Partition(p int) []uint64 { return r.Data[r.Offsets[p]:r.Offsets[p+1]] }
+
+// Partition partitions rel (which must be a row-layout relation of 8-byte
+// tuples) according to cfg.
+func Partition(rel *workload.Relation, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if rel.Layout != workload.RowLayout || rel.Width != 8 {
+		return nil, fmt.Errorf("cpupart: need row-layout 8-byte tuples, got %v %dB", rel.Layout, rel.Width)
+	}
+	cfg = cfg.withDefaults()
+	src := rel.Data
+	start := time.Now()
+	var res *Result
+	var err error
+	switch cfg.Algorithm {
+	case Buffered:
+		res, err = bufferedPartition(src, cfg)
+	case Naive:
+		res, err = naivePartition(src, cfg)
+	case MultiPass:
+		res, err = multiPassPartition(src, cfg)
+	default:
+		return nil, fmt.Errorf("cpupart: unknown algorithm %v", cfg.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	res.Threads = cfg.Threads
+	return res, nil
+}
+
+// partIndex computes the partition of a packed tuple.
+func partIndex(t uint64, bits uint, hash bool) uint32 {
+	return hashutil.PartitionIndex32(uint32(t), bits, hash)
+}
+
+// chunkBounds splits n items into t contiguous chunks.
+func chunkBounds(n, t int) []int {
+	bounds := make([]int, t+1)
+	for i := 0; i <= t; i++ {
+		bounds[i] = n * i / t
+	}
+	return bounds
+}
+
+// bufferedPartition is the parallel Code 2 implementation: per-thread
+// histograms, a global prefix sum assigning each thread a private slice of
+// every partition, then a buffered shuffle pass.
+func bufferedPartition(src []uint64, cfg Config) (*Result, error) {
+	p := cfg.NumPartitions
+	bits := hashutil.Log2(p)
+	threads := cfg.Threads
+	n := len(src)
+	bounds := chunkBounds(n, threads)
+
+	// Pass 1: per-thread histograms.
+	hists := make([][]int64, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			h := make([]int64, p)
+			for _, tup := range src[bounds[t]:bounds[t+1]] {
+				h[partIndex(tup, bits, cfg.Hash)]++
+			}
+			hists[t] = h
+		}(t)
+	}
+	wg.Wait()
+
+	// Prefix sums: partition offsets, then per-thread write cursors.
+	offsets := make([]int64, p+1)
+	for i := 0; i < p; i++ {
+		var sum int64
+		for t := 0; t < threads; t++ {
+			sum += hists[t][i]
+		}
+		offsets[i+1] = offsets[i] + sum
+	}
+	cursors := make([][]int64, threads)
+	for t := 0; t < threads; t++ {
+		cursors[t] = make([]int64, p)
+	}
+	for i := 0; i < p; i++ {
+		pos := offsets[i]
+		for t := 0; t < threads; t++ {
+			cursors[t][i] = pos
+			pos += hists[t][i]
+		}
+	}
+
+	// Pass 2: buffered shuffle into private destination ranges — no
+	// synchronization needed, the reason the CPU algorithm builds the
+	// histogram "out of necessity" (Section 4.7).
+	dst := make([]uint64, n)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			buf := make([]uint64, p*BufferTuples)
+			fill := make([]uint8, p)
+			cur := cursors[t]
+			for _, tup := range src[bounds[t]:bounds[t+1]] {
+				i := partIndex(tup, bits, cfg.Hash)
+				f := fill[i]
+				buf[int(i)*BufferTuples+int(f)] = tup
+				f++
+				if f == BufferTuples {
+					// Flush one cache line's worth; with SIMD this would
+					// be a non-temporal streaming store.
+					copy(dst[cur[i]:cur[i]+BufferTuples], buf[int(i)*BufferTuples:int(i+1)*BufferTuples])
+					cur[i] += BufferTuples
+					f = 0
+				}
+				fill[i] = f
+			}
+			// Flush partial buffers.
+			for i := 0; i < p; i++ {
+				f := int64(fill[i])
+				if f > 0 {
+					copy(dst[cur[i]:cur[i]+f], buf[i*BufferTuples:i*BufferTuples+int(f)])
+					cur[i] += f
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+
+	return &Result{NumPartitions: p, Data: dst, Offsets: offsets}, nil
+}
+
+// naivePartition is Code 1 run on cfg.Threads threads with the same
+// histogram-based synchronization but no write combining.
+func naivePartition(src []uint64, cfg Config) (*Result, error) {
+	p := cfg.NumPartitions
+	bits := hashutil.Log2(p)
+	threads := cfg.Threads
+	n := len(src)
+	bounds := chunkBounds(n, threads)
+
+	hists := make([][]int64, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			h := make([]int64, p)
+			for _, tup := range src[bounds[t]:bounds[t+1]] {
+				h[partIndex(tup, bits, cfg.Hash)]++
+			}
+			hists[t] = h
+		}(t)
+	}
+	wg.Wait()
+
+	offsets := make([]int64, p+1)
+	for i := 0; i < p; i++ {
+		var sum int64
+		for t := 0; t < threads; t++ {
+			sum += hists[t][i]
+		}
+		offsets[i+1] = offsets[i] + sum
+	}
+	cursors := make([][]int64, threads)
+	for t := 0; t < threads; t++ {
+		cursors[t] = make([]int64, p)
+	}
+	for i := 0; i < p; i++ {
+		pos := offsets[i]
+		for t := 0; t < threads; t++ {
+			cursors[t][i] = pos
+			pos += hists[t][i]
+		}
+	}
+
+	dst := make([]uint64, n)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			cur := cursors[t]
+			for _, tup := range src[bounds[t]:bounds[t+1]] {
+				i := partIndex(tup, bits, cfg.Hash)
+				dst[cur[i]] = tup
+				cur[i]++
+			}
+		}(t)
+	}
+	wg.Wait()
+	return &Result{NumPartitions: p, Data: dst, Offsets: offsets}, nil
+}
+
+// multiPassPartition splits the fan-out across two passes when it exceeds
+// maxFanOutPerPass: a coarse pass on the high bits of the partition index,
+// then an in-place refinement of each coarse partition on the low bits.
+func multiPassPartition(src []uint64, cfg Config) (*Result, error) {
+	p := cfg.NumPartitions
+	if p <= maxFanOutPerPass {
+		return naivePartition(src, cfg)
+	}
+	bits := hashutil.Log2(p)
+	coarse := maxFanOutPerPass
+	coarseBits := hashutil.Log2(coarse)
+	fine := p / coarse
+
+	// Pass 1: partition by the HIGH bits of the final partition index, so
+	// that each coarse bucket holds a contiguous range of final partitions.
+	cfg1 := cfg
+	cfg1.NumPartitions = coarse
+	first, err := partitionByIndex(src, cfg1.Threads, coarse, func(t uint64) uint32 {
+		return partIndex(t, bits, cfg.Hash) >> (bits - coarseBits)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: refine every coarse bucket by the low bits, in parallel.
+	dst := make([]uint64, len(src))
+	offsets := make([]int64, p+1)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Threads)
+	fineOffsets := make([][]int64, coarse)
+	for c := 0; c < coarse; c++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(c int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			seg := first.Data[first.Offsets[c]:first.Offsets[c+1]]
+			out := dst[first.Offsets[c]:first.Offsets[c+1]]
+			lowBits := bits - coarseBits
+			hist := make([]int64, fine)
+			for _, tup := range seg {
+				hist[partIndex(tup, bits, cfg.Hash)&(1<<lowBits-1)]++
+			}
+			offs := make([]int64, fine+1)
+			for i := 0; i < fine; i++ {
+				offs[i+1] = offs[i] + hist[i]
+			}
+			cur := append([]int64(nil), offs[:fine]...)
+			for _, tup := range seg {
+				i := partIndex(tup, bits, cfg.Hash) & (1<<lowBits - 1)
+				out[cur[i]] = tup
+				cur[i]++
+			}
+			fineOffsets[c] = offs
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < coarse; c++ {
+		base := first.Offsets[c]
+		for i := 0; i < fine; i++ {
+			offsets[c*fine+i+1] = base + fineOffsets[c][i+1]
+		}
+	}
+	return &Result{NumPartitions: p, Data: dst, Offsets: offsets}, nil
+}
+
+// partitionByIndex is a parallel scatter by an arbitrary index function.
+func partitionByIndex(src []uint64, threads, parts int, idx func(uint64) uint32) (*Result, error) {
+	n := len(src)
+	bounds := chunkBounds(n, threads)
+	hists := make([][]int64, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			h := make([]int64, parts)
+			for _, tup := range src[bounds[t]:bounds[t+1]] {
+				h[idx(tup)]++
+			}
+			hists[t] = h
+		}(t)
+	}
+	wg.Wait()
+	offsets := make([]int64, parts+1)
+	for i := 0; i < parts; i++ {
+		var sum int64
+		for t := 0; t < threads; t++ {
+			sum += hists[t][i]
+		}
+		offsets[i+1] = offsets[i] + sum
+	}
+	cursors := make([][]int64, threads)
+	for t := 0; t < threads; t++ {
+		cursors[t] = make([]int64, parts)
+	}
+	for i := 0; i < parts; i++ {
+		pos := offsets[i]
+		for t := 0; t < threads; t++ {
+			cursors[t][i] = pos
+			pos += hists[t][i]
+		}
+	}
+	dst := make([]uint64, n)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			cur := cursors[t]
+			for _, tup := range src[bounds[t]:bounds[t+1]] {
+				i := idx(tup)
+				dst[cur[i]] = tup
+				cur[i]++
+			}
+		}(t)
+	}
+	wg.Wait()
+	return &Result{NumPartitions: parts, Data: dst, Offsets: offsets}, nil
+}

@@ -1,0 +1,230 @@
+package cpupart
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fpgapart/internal/hashutil"
+	"fpgapart/workload"
+)
+
+func genRel(t *testing.T, d workload.Distribution, n int, seed int64) *workload.Relation {
+	t.Helper()
+	rel, err := workload.NewGenerator(seed).Relation(d, 8, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+// checkPartitioned verifies that every tuple sits in its correct partition
+// and that the output is a permutation of the input.
+func checkPartitioned(t *testing.T, rel *workload.Relation, res *Result, hash bool) {
+	t.Helper()
+	bits := hashutil.Log2(res.NumPartitions)
+	if res.Offsets[res.NumPartitions] != int64(rel.NumTuples) {
+		t.Fatalf("offsets end at %d, want %d", res.Offsets[res.NumPartitions], rel.NumTuples)
+	}
+	for p := 0; p < res.NumPartitions; p++ {
+		for _, tup := range res.Partition(p) {
+			if got := hashutil.PartitionIndex32(uint32(tup), bits, hash); got != uint32(p) {
+				t.Fatalf("tuple %#x in partition %d, belongs to %d", tup, p, got)
+			}
+		}
+	}
+	got := append([]uint64(nil), res.Data...)
+	want := append([]uint64(nil), rel.Data...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("output is not a permutation of input at %d", i)
+		}
+	}
+}
+
+func TestBufferedMatchesReference(t *testing.T) {
+	for _, d := range []workload.Distribution{workload.Linear, workload.Random, workload.Grid} {
+		for _, hash := range []bool{false, true} {
+			for _, threads := range []int{1, 4} {
+				rel := genRel(t, d, 30000, 5)
+				res, err := Partition(rel, Config{NumPartitions: 256, Hash: hash, Threads: threads})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkPartitioned(t, rel, res, hash)
+			}
+		}
+	}
+}
+
+func TestNaiveMatchesBuffered(t *testing.T) {
+	rel := genRel(t, workload.Random, 20000, 9)
+	buffered, err := Partition(rel, Config{NumPartitions: 128, Hash: true, Threads: 2, Algorithm: Buffered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Partition(rel, Config{NumPartitions: 128, Hash: true, Threads: 2, Algorithm: Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitioned(t, rel, naive, true)
+	for p := 0; p <= 128; p++ {
+		if buffered.Offsets[p] != naive.Offsets[p] {
+			t.Fatalf("offset mismatch at %d", p)
+		}
+	}
+}
+
+func TestMultiPassMatchesReference(t *testing.T) {
+	rel := genRel(t, workload.Random, 50000, 11)
+	// 8192 partitions exceeds the per-pass fan-out limit, forcing two passes.
+	res, err := Partition(rel, Config{NumPartitions: 8192, Hash: true, Threads: 4, Algorithm: MultiPass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitioned(t, rel, res, true)
+}
+
+func TestMultiPassSmallFanOutDelegates(t *testing.T) {
+	rel := genRel(t, workload.Random, 10000, 13)
+	res, err := Partition(rel, Config{NumPartitions: 64, Hash: false, Threads: 2, Algorithm: MultiPass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitioned(t, rel, res, false)
+}
+
+func TestPartitionOrderIsStableWithinThreadChunks(t *testing.T) {
+	// Single-threaded buffered partitioning preserves arrival order within
+	// a partition (FIFO property used by some downstream operators).
+	rel := genRel(t, workload.Random, 10000, 17)
+	res, err := Partition(rel, Config{NumPartitions: 16, Hash: true, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := hashutil.Log2(16)
+	want := make([][]uint64, 16)
+	for _, tup := range rel.Data {
+		p := hashutil.PartitionIndex32(uint32(tup), bits, true)
+		want[p] = append(want[p], tup)
+	}
+	for p := 0; p < 16; p++ {
+		got := res.Partition(p)
+		for i := range got {
+			if got[i] != want[p][i] {
+				t.Fatalf("partition %d not in arrival order at %d", p, i)
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rel := genRel(t, workload.Linear, 100, 1)
+	if _, err := Partition(rel, Config{NumPartitions: 100}); err == nil {
+		t.Error("non-power-of-two fan-out accepted")
+	}
+	if _, err := Partition(rel, Config{NumPartitions: 1}); err == nil {
+		t.Error("fan-out 1 accepted")
+	}
+	wide, _ := workload.NewRelation(workload.RowLayout, 16, 4)
+	if _, err := Partition(wide, Config{NumPartitions: 8}); err == nil {
+		t.Error("16-byte tuples accepted")
+	}
+	col, _ := workload.NewRelation(workload.ColumnLayout, 8, 4)
+	if _, err := Partition(col, Config{NumPartitions: 8}); err == nil {
+		t.Error("column layout accepted")
+	}
+	if _, err := Partition(rel, Config{NumPartitions: 8, Algorithm: Algorithm(9)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	for _, n := range []int{0, 1, 7} {
+		rel := genRel(t, workload.Random, n, 3)
+		for _, alg := range []Algorithm{Buffered, Naive} {
+			res, err := Partition(rel, Config{NumPartitions: 64, Hash: true, Threads: 4, Algorithm: alg})
+			if err != nil {
+				t.Fatalf("n=%d %v: %v", n, alg, err)
+			}
+			checkPartitioned(t, rel, res, true)
+		}
+	}
+}
+
+func TestMoreThreadsThanTuples(t *testing.T) {
+	rel := genRel(t, workload.Random, 5, 3)
+	res, err := Partition(rel, Config{NumPartitions: 8, Hash: true, Threads: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitioned(t, rel, res, true)
+}
+
+func TestPropertyAllAlgorithmsAgree(t *testing.T) {
+	f := func(seed int64, nRaw uint16, hash bool) bool {
+		n := int(nRaw)%3000 + 1
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]uint32, n)
+		for i := range keys {
+			keys[i] = rng.Uint32()
+		}
+		rel, _ := workload.FromKeys(keys, 8)
+		var results []*Result
+		for _, alg := range []Algorithm{Buffered, Naive, MultiPass} {
+			res, err := Partition(rel, Config{NumPartitions: 32, Hash: hash, Threads: 3, Algorithm: alg})
+			if err != nil {
+				return false
+			}
+			results = append(results, res)
+		}
+		// All algorithms must produce identical partition boundaries and
+		// identical per-partition multisets.
+		for p := 0; p < 32; p++ {
+			a := append([]uint64(nil), results[0].Partition(p)...)
+			sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+			for _, other := range results[1:] {
+				b := append([]uint64(nil), other.Partition(p)...)
+				if len(a) != len(b) {
+					return false
+				}
+				sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+				for i := range a {
+					if a[i] != b[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElapsedRecorded(t *testing.T) {
+	rel := genRel(t, workload.Random, 50000, 23)
+	res, err := Partition(rel, Config{NumPartitions: 256, Hash: true, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("Elapsed not recorded")
+	}
+	if res.Threads != 2 {
+		t.Errorf("Threads = %d", res.Threads)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if Buffered.String() != "buffered" || Naive.String() != "naive" || MultiPass.String() != "multipass" {
+		t.Error("algorithm strings")
+	}
+	if Algorithm(9).String() != "Algorithm(9)" {
+		t.Error("unknown algorithm string")
+	}
+}

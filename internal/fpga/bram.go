@@ -1,0 +1,115 @@
+package fpga
+
+import "fmt"
+
+// BRAM models a synchronous block RAM: a read issued in cycle t delivers its
+// data in cycle t+1, and the RAM accepts one read and one write per cycle
+// (simple dual-port). A write in cycle t is visible to reads issued in cycle
+// t or later — i.e. a read and a write to the same address in the same cycle
+// return the old data one cycle later, the behaviour the write combiner's
+// forwarding logic exists to paper over (Section 4.2, Code 4).
+type BRAM[T any] struct {
+	data []T
+
+	// Pending read state: at most one in flight per cycle.
+	pendingValid bool
+	pendingData  T
+
+	// Statistics for resource accounting and invariant tests.
+	Reads, Writes int64
+}
+
+// NewBRAM returns a BRAM with the given number of words.
+func NewBRAM[T any](words int) *BRAM[T] {
+	if words <= 0 {
+		panic(fmt.Sprintf("fpga: BRAM of %d words", words))
+	}
+	return &BRAM[T]{data: make([]T, words)}
+}
+
+// Words returns the BRAM capacity in words.
+func (b *BRAM[T]) Words() int { return len(b.data) }
+
+// IssueRead latches the data at addr; it becomes available via ReadData in
+// the next cycle (after the caller invokes Tick).
+func (b *BRAM[T]) IssueRead(addr int) {
+	b.pendingData = b.data[addr]
+	b.pendingValid = true
+	b.Reads++
+}
+
+// Tick advances the RAM one clock cycle, committing the pending read into
+// the read port.
+func (b *BRAM[T]) Tick() {
+	// The pending data was latched at issue time; Tick just marks the cycle
+	// boundary. Nothing to do beyond keeping the one-read-per-cycle model
+	// honest — the latch already holds the old value if a same-cycle write
+	// followed the read.
+}
+
+// ReadData returns the data of the read issued in the previous cycle.
+func (b *BRAM[T]) ReadData() T {
+	if !b.pendingValid {
+		panic("fpga: ReadData with no read in flight")
+	}
+	return b.pendingData
+}
+
+// Write stores v at addr, visible to reads issued in later cycles.
+func (b *BRAM[T]) Write(addr int, v T) {
+	b.data[addr] = v
+	b.Writes++
+}
+
+// Peek returns the current contents of addr without modeling latency; used
+// by the flush phase (which scans sequentially and can pipeline the reads)
+// and by tests.
+func (b *BRAM[T]) Peek(addr int) T { return b.data[addr] }
+
+// Fill sets every word to v (power-on initialization; BRAMs on Stratix V can
+// be initialized from the bitstream).
+func (b *BRAM[T]) Fill(v T) {
+	for i := range b.data {
+		b.data[i] = v
+	}
+}
+
+// Reg is a pipeline register chain of fixed depth: a value shifted in
+// emerges depth cycles later. It models the stages of the hash-function
+// pipeline (Code 3), where each VHDL line is a register stage.
+type Reg[T any] struct {
+	stages []T
+	valid  []bool
+}
+
+// NewReg returns a register chain of the given depth (≥ 1).
+func NewReg[T any](depth int) *Reg[T] {
+	if depth <= 0 {
+		panic(fmt.Sprintf("fpga: register chain of depth %d", depth))
+	}
+	return &Reg[T]{stages: make([]T, depth), valid: make([]bool, depth)}
+}
+
+// Depth returns the latency of the chain in cycles.
+func (r *Reg[T]) Depth() int { return len(r.stages) }
+
+// Shift advances the chain one cycle, inserting (in, inValid) at the head
+// and returning the value falling out of the tail.
+func (r *Reg[T]) Shift(in T, inValid bool) (out T, outValid bool) {
+	last := len(r.stages) - 1
+	out, outValid = r.stages[last], r.valid[last]
+	copy(r.stages[1:], r.stages[:last])
+	copy(r.valid[1:], r.valid[:last])
+	r.stages[0], r.valid[0] = in, inValid
+	return out, outValid
+}
+
+// Drained reports whether no valid values remain in flight.
+func (r *Reg[T]) Drained() bool {
+	for _, v := range r.valid {
+		if v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+// Package fpga provides the clocked-hardware building blocks the partitioner
+// circuit simulator is assembled from: bounded FIFOs with back-pressure,
+// block RAMs with synchronous single-cycle read latency, and pipeline
+// registers. The components mirror the primitives the VHDL design uses
+// (Section 4): the circuit is a composition of FIFOs between pipeline stages
+// and BRAM-backed state with explicit hazard forwarding.
+package fpga
+
+import "fmt"
+
+// FIFO is a bounded first-in first-out queue. A full FIFO exerts
+// back-pressure: CanPush reports false and the producer stage must stall.
+// The partitioner propagates such back-pressure all the way to the QPI read
+// requester (Section 4.3), so no FIFO ever overflows.
+type FIFO[T any] struct {
+	buf        []T
+	head, size int
+
+	// HighWater records the maximum occupancy ever reached, for the
+	// no-overflow invariant checks in tests.
+	HighWater int
+}
+
+// NewFIFO returns a FIFO with the given capacity.
+func NewFIFO[T any](capacity int) *FIFO[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("fpga: FIFO capacity %d", capacity))
+	}
+	return &FIFO[T]{buf: make([]T, capacity)}
+}
+
+// Cap returns the FIFO capacity.
+func (f *FIFO[T]) Cap() int { return len(f.buf) }
+
+// Len returns the current occupancy.
+func (f *FIFO[T]) Len() int { return f.size }
+
+// Free returns the number of free slots.
+func (f *FIFO[T]) Free() int { return len(f.buf) - f.size }
+
+// Empty reports whether the FIFO holds no elements.
+func (f *FIFO[T]) Empty() bool { return f.size == 0 }
+
+// CanPush reports whether a push would succeed.
+func (f *FIFO[T]) CanPush() bool { return f.size < len(f.buf) }
+
+// Push enqueues v. Pushing into a full FIFO is a design bug — hardware would
+// silently drop data — so the simulator panics to surface it.
+func (f *FIFO[T]) Push(v T) {
+	if !f.CanPush() {
+		panic("fpga: push into full FIFO (back-pressure violated)")
+	}
+	f.buf[(f.head+f.size)%len(f.buf)] = v
+	f.size++
+	if f.size > f.HighWater {
+		f.HighWater = f.size
+	}
+}
+
+// Front returns the oldest element without removing it.
+func (f *FIFO[T]) Front() T {
+	if f.Empty() {
+		panic("fpga: front of empty FIFO")
+	}
+	return f.buf[f.head]
+}
+
+// Pop removes and returns the oldest element.
+func (f *FIFO[T]) Pop() T {
+	v := f.Front()
+	var zero T
+	f.buf[f.head] = zero
+	f.head = (f.head + 1) % len(f.buf)
+	f.size--
+	return v
+}

@@ -1,0 +1,256 @@
+package fpga
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOBasicOrder(t *testing.T) {
+	f := NewFIFO[int](4)
+	for i := 1; i <= 4; i++ {
+		if !f.CanPush() {
+			t.Fatalf("CanPush false at %d", i)
+		}
+		f.Push(i)
+	}
+	if f.CanPush() {
+		t.Error("CanPush true when full")
+	}
+	if f.Len() != 4 || f.Free() != 0 {
+		t.Errorf("Len/Free = %d/%d", f.Len(), f.Free())
+	}
+	for i := 1; i <= 4; i++ {
+		if f.Front() != i {
+			t.Fatalf("Front = %d, want %d", f.Front(), i)
+		}
+		if f.Pop() != i {
+			t.Fatalf("Pop out of order at %d", i)
+		}
+	}
+	if !f.Empty() {
+		t.Error("not empty after draining")
+	}
+}
+
+func TestFIFOWrapAround(t *testing.T) {
+	f := NewFIFO[int](3)
+	// Interleave pushes and pops so head wraps several times.
+	next, expect := 0, 0
+	for round := 0; round < 20; round++ {
+		for f.CanPush() {
+			f.Push(next)
+			next++
+		}
+		f.Pop() // free one slot
+		expect++
+		f.Push(next)
+		next++
+		for !f.Empty() {
+			if got := f.Pop(); got != expect {
+				t.Fatalf("round %d: got %d, want %d", round, got, expect)
+			}
+			expect++
+		}
+	}
+}
+
+func TestFIFOOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("push into full FIFO did not panic")
+		}
+	}()
+	f := NewFIFO[int](1)
+	f.Push(1)
+	f.Push(2)
+}
+
+func TestFIFOUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("pop from empty FIFO did not panic")
+		}
+	}()
+	NewFIFO[int](1).Pop()
+}
+
+func TestFIFOZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-capacity FIFO did not panic")
+		}
+	}()
+	NewFIFO[int](0)
+}
+
+func TestFIFOHighWater(t *testing.T) {
+	f := NewFIFO[int](8)
+	f.Push(1)
+	f.Push(2)
+	f.Push(3)
+	f.Pop()
+	f.Pop()
+	f.Pop()
+	f.Push(4)
+	if f.HighWater != 3 {
+		t.Errorf("HighWater = %d, want 3", f.HighWater)
+	}
+}
+
+func TestFIFOPropertyQueueSemantics(t *testing.T) {
+	// Against a reference slice queue, any bounded push/pop sequence agrees.
+	f := func(ops []bool) bool {
+		fifo := NewFIFO[int](5)
+		var ref []int
+		n := 0
+		for _, push := range ops {
+			if push && fifo.CanPush() {
+				fifo.Push(n)
+				ref = append(ref, n)
+				n++
+			} else if !push && !fifo.Empty() {
+				got := fifo.Pop()
+				want := ref[0]
+				ref = ref[1:]
+				if got != want {
+					return false
+				}
+			}
+			if fifo.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBRAMReadLatency(t *testing.T) {
+	b := NewBRAM[uint64](16)
+	b.Write(3, 42)
+	b.IssueRead(3)
+	b.Tick()
+	if got := b.ReadData(); got != 42 {
+		t.Errorf("ReadData = %d, want 42", got)
+	}
+}
+
+func TestBRAMReadWriteSameCycleReturnsOldData(t *testing.T) {
+	// The hazard the forwarding registers exist for: a read issued in the
+	// same cycle as a write to the same address sees the OLD value.
+	b := NewBRAM[uint64](8)
+	b.Write(5, 1) // earlier cycle
+	b.IssueRead(5)
+	b.Write(5, 99) // same cycle as the read
+	b.Tick()
+	if got := b.ReadData(); got != 1 {
+		t.Errorf("same-cycle read returned %d, want old value 1", got)
+	}
+	// The write did land for later reads.
+	b.IssueRead(5)
+	b.Tick()
+	if got := b.ReadData(); got != 99 {
+		t.Errorf("next-cycle read returned %d, want 99", got)
+	}
+}
+
+func TestBRAMPeekAndFill(t *testing.T) {
+	b := NewBRAM[int](4)
+	b.Fill(7)
+	for i := 0; i < 4; i++ {
+		if b.Peek(i) != 7 {
+			t.Errorf("Peek(%d) = %d after Fill(7)", i, b.Peek(i))
+		}
+	}
+	if b.Words() != 4 {
+		t.Errorf("Words = %d", b.Words())
+	}
+}
+
+func TestBRAMCounters(t *testing.T) {
+	b := NewBRAM[int](4)
+	b.Write(0, 1)
+	b.IssueRead(0)
+	b.Tick()
+	_ = b.ReadData()
+	if b.Reads != 1 || b.Writes != 1 {
+		t.Errorf("counters = %d reads, %d writes", b.Reads, b.Writes)
+	}
+}
+
+func TestBRAMReadWithoutIssuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ReadData without IssueRead did not panic")
+		}
+	}()
+	NewBRAM[int](2).ReadData()
+}
+
+func TestRegLatency(t *testing.T) {
+	r := NewReg[int](5) // the murmur pipeline depth
+	var outputs []int
+	for i := 0; i < 10; i++ {
+		out, ok := r.Shift(i, true)
+		if ok {
+			outputs = append(outputs, out)
+		}
+	}
+	// First output appears after 5 cycles and values emerge in order.
+	if len(outputs) != 5 {
+		t.Fatalf("got %d outputs, want 5", len(outputs))
+	}
+	for i, v := range outputs {
+		if v != i {
+			t.Errorf("output %d = %d", i, v)
+		}
+	}
+}
+
+func TestRegBubbles(t *testing.T) {
+	r := NewReg[int](2)
+	r.Shift(1, true)
+	r.Shift(0, false) // bubble
+	out, ok := r.Shift(2, true)
+	if !ok || out != 1 {
+		t.Errorf("first emerge = %d,%v, want 1,true", out, ok)
+	}
+	out, ok = r.Shift(0, false)
+	if ok {
+		t.Errorf("bubble emerged as valid: %d", out)
+	}
+	out, ok = r.Shift(0, false)
+	if !ok || out != 2 {
+		t.Errorf("second emerge = %d,%v, want 2,true", out, ok)
+	}
+	if r.Drained() == false {
+		// one more shift should drain fully
+		r.Shift(0, false)
+	}
+	for i := 0; i < 3; i++ {
+		r.Shift(0, false)
+	}
+	if !r.Drained() {
+		t.Error("register chain not drained after flushing")
+	}
+}
+
+func TestRegDepthOnePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-depth register chain did not panic")
+		}
+	}()
+	NewReg[int](0)
+}
+
+func TestBRAMZeroWordsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-word BRAM did not panic")
+		}
+	}()
+	NewBRAM[int](0)
+}

@@ -1,0 +1,223 @@
+package hashutil
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMurmur32FinalizerKnownValues(t *testing.T) {
+	// fmix32 maps 0 to 0 (all steps are xor/multiply) and is deterministic.
+	if got := Murmur32Finalizer(0); got != 0 {
+		t.Errorf("Murmur32Finalizer(0) = %#x, want 0", got)
+	}
+	// Determinism.
+	for i := 0; i < 100; i++ {
+		k := rand.Uint32()
+		if Murmur32Finalizer(k) != Murmur32Finalizer(k) {
+			t.Fatalf("finalizer not deterministic for %#x", k)
+		}
+	}
+}
+
+func TestMurmur32FinalizerBijective(t *testing.T) {
+	// fmix32 is a bijection on uint32 (xorshift and odd-multiply steps are
+	// each invertible). Check injectivity on a dense sample.
+	seen := make(map[uint32]uint32, 1<<16)
+	for i := uint32(0); i < 1<<16; i++ {
+		h := Murmur32Finalizer(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: %d and %d both hash to %#x", prev, i, h)
+		}
+		seen[h] = i
+	}
+}
+
+func TestMurmur64FinalizerBijectiveSample(t *testing.T) {
+	seen := make(map[uint64]uint64, 1<<15)
+	for i := uint64(0); i < 1<<15; i++ {
+		h := Murmur64Finalizer(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: %d and %d both hash to %#x", prev, i, h)
+		}
+		seen[h] = i
+	}
+}
+
+func TestAvalanche32(t *testing.T) {
+	// Flipping one input bit should flip close to half the output bits on
+	// average (avalanche property that makes murmur "robust" per Richter et
+	// al.). We allow a generous band since this is a statistical property.
+	const trials = 2000
+	rng := rand.New(rand.NewSource(1))
+	var total, count float64
+	for i := 0; i < trials; i++ {
+		k := rng.Uint32()
+		bit := uint(rng.Intn(32))
+		d := Murmur32Finalizer(k) ^ Murmur32Finalizer(k^(1<<bit))
+		total += float64(bits.OnesCount32(d))
+		count++
+	}
+	avg := total / count
+	if avg < 12 || avg > 20 {
+		t.Errorf("avalanche average = %.2f flipped bits, want ~16 (12..20)", avg)
+	}
+}
+
+func TestRadixBits(t *testing.T) {
+	cases := []struct {
+		key  uint32
+		n    uint
+		want uint32
+	}{
+		{0xffffffff, 0, 0},
+		{0xffffffff, 1, 1},
+		{0xffffffff, 13, 0x1fff},
+		{0x12345678, 8, 0x78},
+		{0x12345678, 32, 0x12345678},
+		{0x12345678, 40, 0x12345678},
+	}
+	for _, c := range cases {
+		if got := RadixBits(c.key, c.n); got != c.want {
+			t.Errorf("RadixBits(%#x, %d) = %#x, want %#x", c.key, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRadixBits64(t *testing.T) {
+	if got := RadixBits64(0xffffffffffffffff, 13); got != 0x1fff {
+		t.Errorf("RadixBits64 = %#x, want 0x1fff", got)
+	}
+	if got := RadixBits64(0xabcdef, 64); got != 0xabcdef {
+		t.Errorf("RadixBits64 full width = %#x", got)
+	}
+}
+
+func TestPartitionIndexInRange(t *testing.T) {
+	f := func(key uint32) bool {
+		const bits = 13 // 8192 partitions, the paper's default fan-out
+		r := PartitionIndex32(key, bits, false)
+		h := PartitionIndex32(key, bits, true)
+		return r < 8192 && h < 8192
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionIndex64InRange(t *testing.T) {
+	f := func(key uint64) bool {
+		r := PartitionIndex64(key, 13, false)
+		h := PartitionIndex64(key, 13, true)
+		return r < 8192 && h < 8192
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionIndexRadixMatchesLSBs(t *testing.T) {
+	f := func(key uint32) bool {
+		return PartitionIndex32(key, 13, false) == key&0x1fff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMurmur3_32KnownVectors(t *testing.T) {
+	// Canonical murmur3 x86_32 test vectors.
+	cases := []struct {
+		data []byte
+		seed uint32
+		want uint32
+	}{
+		{nil, 0, 0},
+		{nil, 1, 0x514e28b7},
+		{[]byte{}, 0xffffffff, 0x81f16f39},
+		{[]byte("test"), 0, 0xba6bd213},
+		{[]byte("Hello, world!"), 0, 0xc0363e43},
+		{[]byte("The quick brown fox jumps over the lazy dog"), 0, 0x2e4ff723},
+	}
+	for _, c := range cases {
+		if got := Murmur3_32(c.data, c.seed); got != c.want {
+			t.Errorf("Murmur3_32(%q, %#x) = %#x, want %#x", c.data, c.seed, got, c.want)
+		}
+	}
+}
+
+func TestMurmur3_32TailLengths(t *testing.T) {
+	// Exercise all tail cases (len mod 4 = 0..3); results must be stable and
+	// differ across lengths.
+	data := []byte{1, 2, 3, 4, 5, 6, 7}
+	seen := make(map[uint32]int)
+	for n := 0; n <= len(data); n++ {
+		h := Murmur3_32(data[:n], 42)
+		if prev, ok := seen[h]; ok {
+			t.Errorf("prefix lengths %d and %d collide: %#x", prev, n, h)
+		}
+		seen[h] = n
+	}
+}
+
+func TestFibonacci32Spread(t *testing.T) {
+	// Sequential keys must spread across high bits (the weakness of raw radix
+	// bits that multiplicative hashing fixes).
+	seen := make(map[uint32]bool)
+	for i := uint32(0); i < 1024; i++ {
+		seen[Fibonacci32(i)>>22] = true
+	}
+	if len(seen) < 512 {
+		t.Errorf("Fibonacci32 spread over top-10-bit buckets = %d, want ≥ 512", len(seen))
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint
+	}{{1, 0}, {2, 1}, {3, 1}, {4, 2}, {8192, 13}, {1 << 20, 20}}
+	for _, c := range cases {
+		if got := Log2(c.n); got != c.want {
+			t.Errorf("Log2(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8192, 1 << 30} {
+		if !IsPowerOfTwo(n) {
+			t.Errorf("IsPowerOfTwo(%d) = false, want true", n)
+		}
+	}
+	for _, n := range []int{0, -1, -8, 3, 6, 8191} {
+		if IsPowerOfTwo(n) {
+			t.Errorf("IsPowerOfTwo(%d) = true, want false", n)
+		}
+	}
+}
+
+func BenchmarkMurmur32Finalizer(b *testing.B) {
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += Murmur32Finalizer(uint32(i))
+	}
+	_ = sink
+}
+
+func BenchmarkMurmur64Finalizer(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Murmur64Finalizer(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkRadixBits(b *testing.B) {
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += RadixBits(uint32(i), 13)
+	}
+	_ = sink
+}

@@ -1,0 +1,188 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fpgapart/platform"
+)
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool(1<<30, 0); err == nil {
+		t.Error("zero page size accepted")
+	}
+	if _, err := NewPool(1<<30, 100); err == nil {
+		t.Error("non-line-multiple page size accepted")
+	}
+	if _, err := NewPool(100, 4<<20); err == nil {
+		t.Error("pool smaller than a page accepted")
+	}
+}
+
+func TestAllocConsumesPages(t *testing.T) {
+	p, err := NewPool(64<<20, 4<<20) // 16 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FreePages() != 16 {
+		t.Fatalf("FreePages = %d, want 16", p.FreePages())
+	}
+	r, err := p.Alloc(9 << 20) // needs 3 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pages) != 3 {
+		t.Errorf("region pages = %d, want 3", len(r.Pages))
+	}
+	if p.FreePages() != 13 {
+		t.Errorf("FreePages = %d, want 13", p.FreePages())
+	}
+	if _, err := p.Alloc(1 << 30); err == nil {
+		t.Error("oversized allocation accepted")
+	}
+	if _, err := p.Alloc(0); err == nil {
+		t.Error("zero allocation accepted")
+	}
+}
+
+func TestRegionTranslate(t *testing.T) {
+	p, _ := NewPool(64<<20, 4<<20)
+	r, _ := p.Alloc(12 << 20)
+	// Page 0 starts at physical page r.Pages[0].
+	pa, err := r.Translate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != uint64(r.Pages[0])*(4<<20) {
+		t.Errorf("Translate(0) = %#x", pa)
+	}
+	// An address in the second page.
+	pa, err = r.Translate(4<<20 + 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != uint64(r.Pages[1])*(4<<20)+123 {
+		t.Errorf("Translate(page1+123) = %#x", pa)
+	}
+	if _, err := r.Translate(-1); err == nil {
+		t.Error("negative address translated")
+	}
+	if _, err := r.Translate(12 << 20); err == nil {
+		t.Error("out-of-region address translated")
+	}
+}
+
+func TestMarkWrittenAndOwner(t *testing.T) {
+	p, _ := NewPool(64<<20, 4<<20)
+	r, _ := p.Alloc(1 << 20)
+	// Fresh regions belong to the CPU socket (value 0).
+	if r.Owner(0) != platform.CPUSocket {
+		t.Errorf("fresh owner = %v", r.Owner(0))
+	}
+	if err := r.MarkWritten(platform.FPGASocket, 64, 128); err != nil {
+		t.Fatal(err)
+	}
+	if r.Owner(0) != platform.CPUSocket {
+		t.Error("line 0 should remain CPU-owned")
+	}
+	if r.Owner(64) != platform.FPGASocket || r.Owner(191) != platform.FPGASocket {
+		t.Error("written lines should be FPGA-owned")
+	}
+	if r.Owner(192) != platform.CPUSocket {
+		t.Error("line after write should remain CPU-owned")
+	}
+	cpu, fpga := r.OwnerCounts()
+	if fpga != 2 || cpu != (1<<20)/64-2 {
+		t.Errorf("OwnerCounts = %d, %d", cpu, fpga)
+	}
+}
+
+func TestMarkWrittenPartialLine(t *testing.T) {
+	p, _ := NewPool(64<<20, 4<<20)
+	r, _ := p.Alloc(1 << 20)
+	// A 1-byte write dirties the whole containing line (coherence is
+	// line-granular).
+	if err := r.MarkWritten(platform.FPGASocket, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Owner(64) != platform.FPGASocket {
+		t.Error("partial write should mark the containing line")
+	}
+}
+
+func TestMarkWrittenBounds(t *testing.T) {
+	p, _ := NewPool(64<<20, 4<<20)
+	r, _ := p.Alloc(1 << 20)
+	if err := r.MarkWritten(platform.CPUSocket, -1, 10); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := r.MarkWritten(platform.CPUSocket, 0, 2<<20); err == nil {
+		t.Error("overlong write accepted")
+	}
+}
+
+func TestPageTablePopulateAndTranslate(t *testing.T) {
+	p, _ := NewPool(64<<20, 4<<20)
+	r, _ := p.Alloc(8 << 20)
+	pt, err := NewPageTable(4<<20, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Capacity() != 16 {
+		t.Errorf("Capacity = %d", pt.Capacity())
+	}
+	if err := pt.Populate(r); err != nil {
+		t.Fatal(err)
+	}
+	// FPGA and CPU translations must agree on every address.
+	f := func(raw uint32) bool {
+		va := int64(raw) % (8 << 20)
+		fa, err1 := pt.Translate(va)
+		ca, err2 := r.Translate(va)
+		return err1 == nil && err2 == nil && fa == ca
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if pt.Translations == 0 {
+		t.Error("translation counter not advancing")
+	}
+}
+
+func TestPageTableFaults(t *testing.T) {
+	pt, _ := NewPageTable(4<<20, 4)
+	if _, err := pt.Translate(0); err == nil {
+		t.Error("unmapped page translated")
+	}
+	if _, err := pt.Translate(-5); err == nil {
+		t.Error("negative address translated")
+	}
+	if _, err := pt.Translate(1 << 40); err == nil {
+		t.Error("beyond-capacity address translated")
+	}
+}
+
+func TestPageTableTooSmallForRegion(t *testing.T) {
+	p, _ := NewPool(64<<20, 4<<20)
+	r, _ := p.Alloc(16 << 20) // 4 pages
+	pt, _ := NewPageTable(4<<20, 2)
+	if err := pt.Populate(r); err == nil {
+		t.Error("populate into undersized table accepted")
+	}
+}
+
+func TestNewPageTableValidation(t *testing.T) {
+	if _, err := NewPageTable(0, 4); err == nil {
+		t.Error("zero page size accepted")
+	}
+	if _, err := NewPageTable(4<<20, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestPageTableLatencyConstant(t *testing.T) {
+	// Section 2.1: translation takes 2 cycles but is pipelined.
+	if PageTableLatency != 2 {
+		t.Errorf("PageTableLatency = %d, want 2", PageTableLatency)
+	}
+}

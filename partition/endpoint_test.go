@@ -1,0 +1,67 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"fpgapart/platform"
+	"fpgapart/workload"
+)
+
+func TestExtendedEndpointLoses20Percent(t *testing.T) {
+	rel := genRel(t, 200000, 21)
+	std, err := NewFPGA(FPGAOptions{Partitions: 256, Hash: true, Format: PadMode, PadFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := NewFPGA(FPGAOptions{Partitions: 256, Hash: true, Format: PadMode, PadFraction: 0.5,
+		ExtendedEndpoint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := std.Partition(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := ext.Partition(rel.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(re.Elapsed()) / float64(rs.Elapsed())
+	// 20% less bandwidth on a bandwidth-bound run → ~1.25× slower (flush
+	// and latency dilute it slightly).
+	if ratio < 1.1 || ratio > 1.35 {
+		t.Errorf("extended endpoint slowdown = %.3fx, want ~1.25x", ratio)
+	}
+}
+
+func TestExtendedEndpointAllocationCap(t *testing.T) {
+	// A relation whose input+output footprint exceeds 2 GB must be
+	// rejected without running. Construct the header only — no data is
+	// touched before validation.
+	rel := &workload.Relation{
+		Layout:    workload.RowLayout,
+		Width:     8,
+		NumTuples: int(platform.ExtendedEndpointMaxBytes/8 + 1),
+	}
+	ext, err := NewFPGA(FPGAOptions{Partitions: 256, Hash: true, Format: PadMode, ExtendedEndpoint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ext.Partition(rel)
+	if err == nil || !strings.Contains(err.Error(), "allocation cap") {
+		t.Fatalf("err = %v, want allocation cap rejection", err)
+	}
+}
+
+func TestCurveScale(t *testing.T) {
+	c := platform.BandwidthCurve{Points: []float64{5, 10}}
+	s := c.Scale(0.8)
+	if s.Points[0] != 4 || s.Points[1] != 8 {
+		t.Errorf("scaled points: %v", s.Points)
+	}
+	// Original untouched.
+	if c.Points[0] != 5 {
+		t.Error("Scale mutated the original curve")
+	}
+}

@@ -1,0 +1,385 @@
+// Package partition is the public API of the library: data partitioners for
+// in-memory relations, backed either by the host CPU (a measured,
+// state-of-the-art software implementation with software-managed buffers)
+// or by a cycle-level simulation of the paper's FPGA partitioner circuit on
+// the Xeon+FPGA platform model.
+//
+// Quick start:
+//
+//	rel, _ := workload.NewGenerator(1).Relation(workload.Random, 8, 1<<20)
+//	p, _ := partition.NewFPGA(partition.FPGAOptions{
+//	        Partitions: 8192,
+//	        Hash:       true,
+//	        Format:     partition.PadMode,
+//	})
+//	res, _ := p.Partition(rel)
+//	fmt.Println(res.Elapsed(), res.Count(0))
+//
+// Both backends produce a Result with a unified slot-level view of the
+// partitions, so downstream operators (e.g. package hashjoin) are agnostic
+// to where the partitioning ran.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fpgapart/internal/core"
+	"fpgapart/internal/cpupart"
+	"fpgapart/platform"
+	"fpgapart/workload"
+)
+
+// Format selects the FPGA partitioner's output strategy (Section 4.5 of the
+// paper).
+type Format int
+
+const (
+	// HistMode does a histogram pass first: two passes, minimal memory,
+	// robust against any skew.
+	HistMode Format = iota
+	// PadMode preassigns fixed padded partition sizes: a single pass, but
+	// skewed inputs can overflow, triggering the CPU fallback.
+	PadMode
+)
+
+// Layout selects the FPGA partitioner's input layout (Section 4.5).
+type Layout int
+
+const (
+	// RowStore reads <key, payload> records (RID mode).
+	RowStore Layout = iota
+	// ColumnStore reads a bare key column and emits <key, VRID> tuples
+	// (VRID mode), halving read traffic.
+	ColumnStore
+)
+
+// ErrOverflow is reported (wrapped) when a PAD-mode run overflowed a
+// partition's padded size and no fallback was configured.
+var ErrOverflow = errors.New("partition: partition overflowed its padded size (PAD mode)")
+
+// Partitioner partitions relations.
+type Partitioner interface {
+	// Partition splits rel into the configured number of partitions.
+	Partition(rel *workload.Relation) (*Result, error)
+	// Name identifies the backend and mode, e.g. "fpga-PAD/RID".
+	Name() string
+}
+
+// Result is a partitioned relation from either backend.
+type Result struct {
+	numPartitions int
+	elapsed       time.Duration
+	simulated     bool
+	fpgaWritten   bool
+	fellBack      bool
+
+	cpu  *cpupart.Result
+	fpga *core.Output
+
+	// Stats carries FPGA run statistics (zero value for CPU runs).
+	Stats FPGAStats
+}
+
+// FPGAStats is the public snapshot of a simulated circuit run.
+type FPGAStats struct {
+	Cycles             int64
+	LinesRead          int64
+	LinesWritten       int64
+	Dummies            int64
+	StallsHazard       int64
+	ForwardedHazards   int64
+	StallsBackpressure int64
+	PageTranslations   int64
+	HistogramCycles    int64
+	FlushCycles        int64
+}
+
+// NumPartitions returns the fan-out.
+func (r *Result) NumPartitions() int { return r.numPartitions }
+
+// Elapsed returns the partitioning time: wall-clock for the CPU backend,
+// simulated FPGA time (cycles at the platform clock) for the FPGA backend.
+func (r *Result) Elapsed() time.Duration { return r.elapsed }
+
+// Simulated reports whether Elapsed is simulated rather than measured.
+func (r *Result) Simulated() bool { return r.simulated }
+
+// FPGAWritten reports whether the partitions were written by the FPGA —
+// which means a CPU consumer pays the coherence snoop penalty of Table 1.
+func (r *Result) FPGAWritten() bool { return r.fpgaWritten }
+
+// FellBack reports whether a PAD overflow forced the CPU fallback.
+func (r *Result) FellBack() bool { return r.fellBack }
+
+// Count returns the number of valid tuples in partition p.
+func (r *Result) Count(p int) int64 {
+	if r.cpu != nil {
+		return r.cpu.Count(p)
+	}
+	return r.fpga.Counts[p]
+}
+
+// TotalTuples returns the total valid tuple count.
+func (r *Result) TotalTuples() int64 {
+	var n int64
+	for p := 0; p < r.numPartitions; p++ {
+		n += r.Count(p)
+	}
+	return n
+}
+
+// SlotCount returns the number of addressable tuple slots in partition p.
+// For FPGA-written partitions this includes dummy slots; use Slot's ok
+// result to skip them.
+func (r *Result) SlotCount(p int) int {
+	if r.cpu != nil {
+		return int(r.cpu.Count(p))
+	}
+	return int(r.fpga.LinesUsed[p]) * r.fpga.TuplesPerLine()
+}
+
+// Slot returns the key and payload in slot i of partition p; ok is false
+// for dummy (padding) slots.
+func (r *Result) Slot(p, i int) (key, payload uint32, ok bool) {
+	if r.cpu != nil {
+		t := r.cpu.Data[r.cpu.Offsets[p]+int64(i)]
+		return uint32(t), uint32(t >> 32), true
+	}
+	o := r.fpga
+	wpt := o.TupleWidth / 8
+	base := o.Base[p]*8 + int64(i*wpt)
+	w := o.Lines[base]
+	key = uint32(w)
+	if key == o.DummyKey {
+		return 0, 0, false
+	}
+	return key, uint32(w >> 32), true
+}
+
+// Each iterates the valid tuples of partition p.
+func (r *Result) Each(p int, fn func(key, payload uint32)) {
+	if r.cpu != nil {
+		for _, t := range r.cpu.Partition(p) {
+			fn(uint32(t), uint32(t>>32))
+		}
+		return
+	}
+	r.fpga.Partition(p, func(k, pay uint32, _ []uint64) { fn(k, pay) })
+}
+
+// CPUOptions configures the CPU software partitioner.
+type CPUOptions struct {
+	Partitions int
+	// Hash selects murmur hash partitioning; false selects radix bits.
+	Hash bool
+	// Threads ≤ 0 uses all cores.
+	Threads int
+	// Naive selects the tuple-at-a-time scatter of Code 1 (for ablations);
+	// the default is the software-managed-buffer algorithm of Code 2.
+	Naive bool
+	// MultiPass selects the fan-out-limited two-pass algorithm.
+	MultiPass bool
+}
+
+type cpuPartitioner struct {
+	cfg cpupart.Config
+}
+
+// NewCPU returns the software partitioner.
+func NewCPU(opts CPUOptions) (Partitioner, error) {
+	if opts.Naive && opts.MultiPass {
+		return nil, errors.New("partition: Naive and MultiPass are mutually exclusive")
+	}
+	alg := cpupart.Buffered
+	if opts.Naive {
+		alg = cpupart.Naive
+	}
+	if opts.MultiPass {
+		alg = cpupart.MultiPass
+	}
+	cfg := cpupart.Config{
+		NumPartitions: opts.Partitions,
+		Hash:          opts.Hash,
+		Threads:       opts.Threads,
+		Algorithm:     alg,
+	}
+	return &cpuPartitioner{cfg: cfg}, nil
+}
+
+func (p *cpuPartitioner) Name() string {
+	kind := "radix"
+	if p.cfg.Hash {
+		kind = "hash"
+	}
+	return fmt.Sprintf("cpu-%s-%v", kind, p.cfg.Algorithm)
+}
+
+func (p *cpuPartitioner) Partition(rel *workload.Relation) (*Result, error) {
+	res, err := cpupart.Partition(rel, p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		numPartitions: res.NumPartitions,
+		elapsed:       res.Elapsed,
+		cpu:           res,
+	}, nil
+}
+
+// FPGAOptions configures the simulated FPGA partitioner.
+type FPGAOptions struct {
+	Partitions int
+	// TupleWidth in bytes: 8 (default), 16, 32 or 64. ColumnStore requires 8.
+	TupleWidth int
+	// Hash selects murmur hashing — free on the FPGA (Section 4.7).
+	Hash   bool
+	Format Format
+	Layout Layout
+	// PadFraction is PAD mode's headroom (default 0.15).
+	PadFraction float64
+	// Platform defaults to platform.XeonFPGA().
+	Platform *platform.Platform
+	// Interfered uses the reduced bandwidth curve measured when the CPU
+	// hammers memory concurrently (Figure 2).
+	Interfered bool
+	// ExtendedEndpoint models Intel's extended QPI end-point instead of the
+	// paper's own page table (Section 2.1): address translation is handled
+	// by the end-point, but allocations are capped at 2 GB and bandwidth
+	// drops 20%. Relations too large for the cap are rejected.
+	ExtendedEndpoint bool
+	// DisableFallback turns off the PAD-overflow CPU fallback, surfacing
+	// ErrOverflow instead.
+	DisableFallback bool
+	// FallbackThreads is the parallelism of the CPU fallback partitioner.
+	FallbackThreads int
+
+	// Ablation switches (see core.Config).
+	DisableForwarding    bool
+	DisableWriteCombiner bool
+}
+
+type fpgaPartitioner struct {
+	opts    FPGAOptions
+	circuit *core.Circuit
+}
+
+// NewFPGA returns the simulated FPGA partitioner.
+func NewFPGA(opts FPGAOptions) (Partitioner, error) {
+	if opts.TupleWidth == 0 {
+		opts.TupleWidth = 8
+	}
+	if opts.Platform == nil {
+		opts.Platform = platform.XeonFPGA()
+	}
+	cfg := core.Config{
+		NumPartitions:        opts.Partitions,
+		TupleWidth:           opts.TupleWidth,
+		Hash:                 opts.Hash,
+		PadFraction:          opts.PadFraction,
+		DisableForwarding:    opts.DisableForwarding,
+		DisableWriteCombiner: opts.DisableWriteCombiner,
+	}
+	if opts.Format == PadMode {
+		cfg.Format = core.PAD
+	}
+	if opts.Layout == ColumnStore {
+		cfg.Layout = core.VRID
+	}
+	curve := opts.Platform.FPGAAlone
+	if opts.Interfered {
+		curve = opts.Platform.FPGAInterfered
+	}
+	if opts.ExtendedEndpoint {
+		curve = curve.Scale(0.8)
+	}
+	circuit, err := core.NewCircuit(cfg, opts.Platform.FPGAClockHz, curve)
+	if err != nil {
+		return nil, err
+	}
+	return &fpgaPartitioner{opts: opts, circuit: circuit}, nil
+}
+
+func (p *fpgaPartitioner) Name() string {
+	return fmt.Sprintf("fpga-%v/%v", p.circuit.Config().Format, p.circuit.Config().Layout)
+}
+
+func (p *fpgaPartitioner) Partition(rel *workload.Relation) (*Result, error) {
+	if p.opts.ExtendedEndpoint {
+		// Input plus (roughly input-sized) output must fit the extended
+		// end-point's 2 GB allocation cap.
+		if need := int64(rel.Bytes()) * 2; need > platform.ExtendedEndpointMaxBytes {
+			return nil, fmt.Errorf("partition: %d bytes exceed the extended QPI end-point's %d-byte allocation cap",
+				need, int64(platform.ExtendedEndpointMaxBytes))
+		}
+	}
+	out, stats, err := p.circuit.Partition(rel)
+	if err != nil && errors.Is(err, core.ErrPartitionOverflow) {
+		if !p.opts.DisableFallback {
+			return p.fallback(rel, stats)
+		}
+		return nil, fmt.Errorf("partition: %w", ErrOverflow)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		numPartitions: out.NumPartitions,
+		elapsed:       stats.Elapsed,
+		simulated:     true,
+		fpgaWritten:   true,
+		fpga:          out,
+		Stats:         snapshot(stats),
+	}, nil
+}
+
+// fallback reruns the partitioning on the CPU after a PAD overflow. The
+// aborted FPGA attempt's (simulated) time is charged on top of the measured
+// CPU time, as the paper describes: "the procedure has to start from the
+// beginning" (Section 5.4).
+func (p *fpgaPartitioner) fallback(rel *workload.Relation, aborted *core.Stats) (*Result, error) {
+	if rel.Layout == workload.ColumnLayout {
+		// The CPU fallback mirrors VRID semantics: it partitions <key, VRID>
+		// tuples materialized from the key column, so downstream consumers
+		// see the same payload convention either way.
+		rows, err := workload.NewRelation(workload.RowLayout, 8, rel.NumTuples)
+		if err != nil {
+			return nil, err
+		}
+		for i, k := range rel.Keys {
+			rows.SetTuple(i, k, uint32(i))
+		}
+		rel = rows
+	}
+	cpu, err := cpupart.Partition(rel, cpupart.Config{
+		NumPartitions: p.opts.Partitions,
+		Hash:          p.opts.Hash,
+		Threads:       p.opts.FallbackThreads,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		numPartitions: cpu.NumPartitions,
+		elapsed:       aborted.Elapsed + cpu.Elapsed,
+		fellBack:      true,
+		cpu:           cpu,
+		Stats:         snapshot(aborted),
+	}, nil
+}
+
+func snapshot(s *core.Stats) FPGAStats {
+	return FPGAStats{
+		Cycles:             s.Cycles,
+		LinesRead:          s.LinesRead,
+		LinesWritten:       s.LinesWritten,
+		Dummies:            s.Dummies,
+		StallsHazard:       s.StallsHazard,
+		ForwardedHazards:   s.ForwardedHazards,
+		StallsBackpressure: s.StallsBackpressure,
+		PageTranslations:   s.PageTranslations,
+		HistogramCycles:    s.HistogramCycles,
+		FlushCycles:        s.FlushCycles,
+	}
+}

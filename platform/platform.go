@@ -1,0 +1,275 @@
+// Package platform models the Intel Xeon+FPGA (HARP v1) machine the paper
+// runs on (Section 2): a dual-socket box with a 10-core Xeon E5-2680 v2 on
+// one socket and an Altera Stratix V FPGA on the other, connected by QPI with
+// cache-coherent access to 96 GB of memory on the CPU socket.
+//
+// Two aspects of the platform shape every result in the paper and are modeled
+// here: the memory bandwidth available to each agent as a function of its
+// sequential-read to random-write ratio (Figure 2), and the cache-coherence
+// snoop penalty the CPU pays when reading memory last written by the FPGA
+// (Table 1). Both models are calibrated to the paper's measurements; the
+// calibration points are spelled out next to the data.
+package platform
+
+import "fmt"
+
+// BandwidthCurve is a piecewise-linear memory bandwidth curve over the read
+// fraction of the traffic mix: point i of Points corresponds to a read
+// fraction of i/(len(Points)-1), i.e. Points[0] is pure random write and the
+// last point is pure sequential read, matching the x-axis of Figure 2
+// (read/write ratio 0/1 ... 1/0). Values are GB/s.
+type BandwidthCurve struct {
+	Points []float64
+}
+
+// At returns the interpolated bandwidth in GB/s for the given read fraction
+// (0 = all writes, 1 = all reads). Fractions outside [0, 1] are clamped.
+func (c BandwidthCurve) At(readFrac float64) float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	if len(c.Points) == 1 {
+		return c.Points[0]
+	}
+	if readFrac < 0 {
+		readFrac = 0
+	} else if readFrac > 1 {
+		readFrac = 1
+	}
+	pos := readFrac * float64(len(c.Points)-1)
+	i := int(pos)
+	if i >= len(c.Points)-1 {
+		return c.Points[len(c.Points)-1]
+	}
+	frac := pos - float64(i)
+	return c.Points[i]*(1-frac) + c.Points[i+1]*frac
+}
+
+// AtRatio returns the bandwidth for a read-to-write byte ratio r (the
+// parameter of the paper's cost model, Section 4.6: r = 2 for HIST/RID,
+// 1 for PAD/RID and HIST/VRID, 0.5 for PAD/VRID). r maps to a read fraction
+// of r/(1+r).
+func (c BandwidthCurve) AtRatio(r float64) float64 {
+	if r < 0 {
+		r = 0
+	}
+	return c.At(r / (1 + r))
+}
+
+// BytesPerSecond returns the curve value converted from GB/s to bytes/s.
+func (c BandwidthCurve) BytesPerSecond(readFrac float64) float64 {
+	return c.At(readFrac) * 1e9
+}
+
+// Scale returns a copy of the curve with every point multiplied by factor
+// (e.g. 0.8 for the extended QPI end-point's 20% bandwidth loss,
+// Section 2.1).
+func (c BandwidthCurve) Scale(factor float64) BandwidthCurve {
+	pts := make([]float64, len(c.Points))
+	for i, p := range c.Points {
+		pts[i] = p * factor
+	}
+	return BandwidthCurve{Points: pts}
+}
+
+// ExtendedEndpointMaxBytes is the allocation cap of Intel's extended QPI
+// end-point, which handles address translation itself but limits
+// allocations to 2 GB and loses 20% bandwidth — the reason the paper
+// implements its own BRAM page table (Section 2.1).
+const ExtendedEndpointMaxBytes = 2 << 30
+
+// CoherenceModel captures Table 1: single-threaded time for the CPU to read
+// a 512 MB region, depending on the access pattern and on which socket last
+// wrote the region. When the FPGA wrote last, CPU reads are snooped on the
+// FPGA socket, whose 128 KB cache almost never holds the line, so every
+// snoop is pure added latency — and unlike a homogeneous 2-socket machine,
+// the snoop filter is only updated by writes, so re-reading never gets
+// faster.
+type CoherenceModel struct {
+	// Per-cache-line read costs in nanoseconds, calibrated from Table 1
+	// (512 MB = 8 Mi cache lines).
+	SeqReadLocalNS   float64 // CPU reads, CPU wrote last:  0.1381 s / 8 Mi lines
+	SeqReadRemoteNS  float64 // CPU reads, FPGA wrote last: 0.1533 s / 8 Mi lines
+	RandReadLocalNS  float64 // random reads, CPU wrote:    1.1537 s / 8 Mi lines
+	RandReadRemoteNS float64 // random reads, FPGA wrote:   2.4876 s / 8 Mi lines
+
+	// ProbeMemFraction is the fraction of the radix join's probe-phase time
+	// spent on random reads of FPGA-written partition data (the rest is
+	// hashing and chain traversal compute). It converts the raw random-read
+	// penalty into the end-to-end probe slowdown seen in Figures 10–12.
+	ProbeMemFraction float64
+}
+
+// SeqPenalty returns the multiplicative slowdown of sequential CPU reads on
+// FPGA-written memory (Table 1: 0.1533/0.1381 ≈ 1.11).
+func (m CoherenceModel) SeqPenalty() float64 {
+	if m.SeqReadLocalNS == 0 {
+		return 1
+	}
+	return m.SeqReadRemoteNS / m.SeqReadLocalNS
+}
+
+// RandPenalty returns the multiplicative slowdown of random CPU reads on
+// FPGA-written memory (Table 1: 2.4876/1.1537 ≈ 2.16).
+func (m CoherenceModel) RandPenalty() float64 {
+	if m.RandReadLocalNS == 0 {
+		return 1
+	}
+	return m.RandReadRemoteNS / m.RandReadLocalNS
+}
+
+// BuildPenalty is the slowdown of the join's build phase when the partitions
+// were written by the FPGA. The build scans its partition sequentially, so
+// the sequential penalty applies (Section 2.2: "during the build phase the
+// effect is not as high").
+func (m CoherenceModel) BuildPenalty() float64 { return m.SeqPenalty() }
+
+// ProbePenalty is the slowdown of the join's probe phase on FPGA-written
+// partitions: the probe's random accesses into the build partition cannot be
+// prefetched past the needless snoops. Only the memory-bound fraction of the
+// probe is slowed.
+func (m CoherenceModel) ProbePenalty() float64 {
+	return 1 + (m.RandPenalty()-1)*m.ProbeMemFraction
+}
+
+// ReadTime models Table 1 directly: the time for a single CPU thread to read
+// bytes worth of memory with the given pattern when the region was last
+// written by the given socket.
+func (m CoherenceModel) ReadTime(bytes int64, random bool, lastWriter Socket) float64 {
+	lines := float64(bytes) / 64
+	var ns float64
+	switch {
+	case !random && lastWriter == CPUSocket:
+		ns = m.SeqReadLocalNS
+	case !random && lastWriter == FPGASocket:
+		ns = m.SeqReadRemoteNS
+	case random && lastWriter == CPUSocket:
+		ns = m.RandReadLocalNS
+	default:
+		ns = m.RandReadRemoteNS
+	}
+	return lines * ns / 1e9
+}
+
+// Socket identifies which socket of the hybrid machine performed an access.
+type Socket int
+
+const (
+	CPUSocket Socket = iota
+	FPGASocket
+)
+
+func (s Socket) String() string {
+	switch s {
+	case CPUSocket:
+		return "CPU"
+	case FPGASocket:
+		return "FPGA"
+	default:
+		return fmt.Sprintf("Socket(%d)", int(s))
+	}
+}
+
+// Platform describes a hybrid CPU+FPGA machine.
+type Platform struct {
+	Name string
+
+	// CPU socket.
+	CPUCores   int
+	CPUClockHz float64
+	L1Bytes    int
+	L2Bytes    int
+	L3Bytes    int
+
+	// FPGA socket.
+	FPGAClockHz    float64
+	FPGACacheBytes int // QPI endpoint's 2-way associative local cache
+
+	// Shared memory.
+	MemoryBytes int64
+	PageBytes   int // the Intel API allocates 4 MB pages
+
+	// Bandwidth curves (Figure 2).
+	CPUAlone       BandwidthCurve
+	CPUInterfered  BandwidthCurve
+	FPGAAlone      BandwidthCurve
+	FPGAInterfered BandwidthCurve
+
+	Coherence CoherenceModel
+}
+
+// XeonFPGA returns the Intel Xeon+FPGA v1 platform of the paper.
+//
+// Bandwidth calibration: the FPGA curve reproduces the QPI operating points
+// the paper's model validation uses (Section 4.8): B(r=2) = 7.05 GB/s,
+// B(r=1) = 6.97 GB/s, B(r=0.5) = 5.94 GB/s, and ≈6.5 GB/s for balanced
+// traffic per Section 2.1. The CPU curve follows the Figure 2 shape: ~30 GB/s
+// for pure sequential reads on one socket, falling below 8 GB/s as the mix
+// becomes random-write dominated. Interfered curves reflect the measured
+// collapse when both agents issue traffic at once.
+func XeonFPGA() *Platform {
+	return &Platform{
+		Name:           "Intel Xeon+FPGA v1 (HARP)",
+		CPUCores:       10,
+		CPUClockHz:     2.8e9,
+		L1Bytes:        32 << 10,
+		L2Bytes:        256 << 10,
+		L3Bytes:        25 << 20,
+		FPGAClockHz:    200e6,
+		FPGACacheBytes: 128 << 10,
+		MemoryBytes:    96 << 30,
+		PageBytes:      4 << 20,
+		// Read fraction 0.0, 0.1, ..., 1.0 (11 points).
+		CPUAlone: BandwidthCurve{Points: []float64{
+			7.5, 8.0, 8.7, 9.5, 10.5, 11.8, 13.3, 15.2, 18.0, 23.0, 30.0,
+		}},
+		CPUInterfered: BandwidthCurve{Points: []float64{
+			4.5, 4.8, 5.2, 5.7, 6.3, 7.1, 8.0, 9.1, 10.8, 13.8, 18.0,
+		}},
+		FPGAAlone: BandwidthCurve{Points: []float64{
+			5.00, 5.30, 5.60, 5.80, 6.25, 6.97, 7.02, 7.05, 7.07, 7.09, 7.10,
+		}},
+		FPGAInterfered: BandwidthCurve{Points: []float64{
+			3.50, 3.70, 3.95, 4.15, 4.55, 4.90, 4.92, 4.94, 4.96, 4.97, 5.00,
+		}},
+		Coherence: CoherenceModel{
+			SeqReadLocalNS:   0.1381 * 1e9 / (512 << 20 / 64),
+			SeqReadRemoteNS:  0.1533 * 1e9 / (512 << 20 / 64),
+			RandReadLocalNS:  1.1537 * 1e9 / (512 << 20 / 64),
+			RandReadRemoteNS: 2.4876 * 1e9 / (512 << 20 / 64),
+			ProbeMemFraction: 0.30,
+		},
+	}
+}
+
+// RawFPGA returns a hypothetical platform identical to XeonFPGA but with a
+// 25.6 GB/s link to the FPGA, the configuration of the paper's "raw FPGA"
+// wrapper experiment (Section 4.7): an on-chip traffic generator that feeds
+// the partitioner at 25.6 GB/s combined read+write bandwidth, so the circuit
+// rather than the link becomes the bottleneck.
+func RawFPGA() *Platform {
+	p := XeonFPGA()
+	p.Name = "Raw FPGA wrapper (25.6 GB/s)"
+	flat := make([]float64, 11)
+	for i := range flat {
+		flat[i] = 25.6
+	}
+	p.FPGAAlone = BandwidthCurve{Points: flat}
+	p.FPGAInterfered = BandwidthCurve{Points: flat}
+	return p
+}
+
+// FutureIntegrated returns a platform sketching the paper's outlook
+// (Section 4.8/6): the same circuit hardened next to the CPU with full
+// memory bandwidth available, where FPGA-style partitioning becomes the most
+// efficient option. Used by the extension benchmarks.
+func FutureIntegrated() *Platform {
+	p := XeonFPGA()
+	p.Name = "Future integrated accelerator"
+	p.FPGAAlone = p.CPUAlone
+	p.FPGAInterfered = p.CPUInterfered
+	// Tighter integration removes the asymmetric snoop penalty.
+	p.Coherence.SeqReadRemoteNS = p.Coherence.SeqReadLocalNS
+	p.Coherence.RandReadRemoteNS = p.Coherence.RandReadLocalNS
+	return p
+}

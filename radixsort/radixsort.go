@@ -1,0 +1,128 @@
+// Package radixsort applies the partitioning machinery to sorting — the
+// other large-scale use of radix partitioning the paper builds on
+// (Polychroniou & Ross study partitioning for radix sort; the
+// software-managed buffer idea the CPU baseline uses was introduced for
+// radix sort by Satish et al.).
+//
+// The sort is a parallel LSD (least-significant-digit) radix sort over the
+// 32-bit keys of 8-byte <key, payload> tuples: each pass is exactly one
+// stable partitioning scatter at a cache-friendly fan-out, reusing the
+// histogram/prefix-sum/scatter structure of the partitioners in
+// internal/cpupart.
+package radixsort
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fpgapart/workload"
+)
+
+// digitBits is the per-pass fan-out (2^11 = 2048 partitions, three passes
+// for 32-bit keys: 11 + 11 + 10).
+const digitBits = 11
+
+// Tuples sorts 8-byte packed tuples by their 32-bit key, ascending and
+// stable. threads ≤ 0 uses all cores.
+func Tuples(data []uint64, threads int) {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if len(data) < 2 {
+		return
+	}
+	scratch := make([]uint64, len(data))
+	src, dst := data, scratch
+	for shift := uint(0); shift < 32; shift += digitBits {
+		bits := uint(digitBits)
+		if shift+bits > 32 {
+			bits = 32 - shift
+		}
+		scatterPass(src, dst, shift, bits, threads)
+		src, dst = dst, src
+	}
+	// 32 bits = 11 + 11 + 10: three passes, so src == scratch holds the
+	// sorted data after the final swap and must be copied back.
+	if &src[0] != &data[0] {
+		copy(data, src)
+	}
+}
+
+// Relation sorts a row-layout relation of 8-byte tuples in place.
+func Relation(rel *workload.Relation, threads int) error {
+	if rel.Layout != workload.RowLayout || rel.Width != 8 {
+		return fmt.Errorf("radixsort: need row-layout 8-byte tuples, got %v %dB", rel.Layout, rel.Width)
+	}
+	Tuples(rel.Data, threads)
+	return nil
+}
+
+// scatterPass performs one stable counting-sort pass on the digit at shift.
+// It is the same histogram → prefix sum → scatter structure as the
+// partitioners: per-thread histograms give every thread private output
+// cursors, preserving stability (threads own contiguous input chunks and
+// their cursor ranges are ordered).
+func scatterPass(src, dst []uint64, shift, bits uint, threads int) {
+	parts := 1 << bits
+	mask := uint64(parts - 1)
+	n := len(src)
+	if threads > n {
+		threads = n
+	}
+	bounds := make([]int, threads+1)
+	for i := 0; i <= threads; i++ {
+		bounds[i] = n * i / threads
+	}
+
+	hists := make([][]int32, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			h := make([]int32, parts)
+			for _, v := range src[bounds[t]:bounds[t+1]] {
+				h[uint32(v)>>shift&uint32(mask)]++
+			}
+			hists[t] = h
+		}(t)
+	}
+	wg.Wait()
+
+	cursors := make([][]int32, threads)
+	for t := range cursors {
+		cursors[t] = make([]int32, parts)
+	}
+	var pos int32
+	for d := 0; d < parts; d++ {
+		for t := 0; t < threads; t++ {
+			cursors[t][d] = pos
+			pos += hists[t][d]
+		}
+	}
+
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			cur := cursors[t]
+			for _, v := range src[bounds[t]:bounds[t+1]] {
+				d := uint32(v) >> shift & uint32(mask)
+				dst[cur[d]] = v
+				cur[d]++
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+// IsSortedByKey reports whether data is sorted ascending by its 32-bit key.
+func IsSortedByKey(data []uint64) bool {
+	for i := 1; i < len(data); i++ {
+		if uint32(data[i]) < uint32(data[i-1]) {
+			return false
+		}
+	}
+	return true
+}

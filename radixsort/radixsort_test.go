@@ -1,0 +1,189 @@
+package radixsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fpgapart/workload"
+)
+
+func randTuples(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]uint64, n)
+	for i := range data {
+		data[i] = uint64(i)<<32 | uint64(rng.Uint32())
+	}
+	return data
+}
+
+func TestSortsRandomData(t *testing.T) {
+	for _, threads := range []int{1, 2, 7} {
+		data := randTuples(100000, 3)
+		Tuples(data, threads)
+		if !IsSortedByKey(data) {
+			t.Fatalf("threads=%d: not sorted", threads)
+		}
+	}
+}
+
+func TestMatchesStdlibSort(t *testing.T) {
+	data := randTuples(50000, 5)
+	want := append([]uint64(nil), data...)
+	sort.Slice(want, func(i, j int) bool {
+		if uint32(want[i]) != uint32(want[j]) {
+			return uint32(want[i]) < uint32(want[j])
+		}
+		// Stable by original position (payload carries the index).
+		return want[i]>>32 < want[j]>>32
+	})
+	Tuples(data, 4)
+	for i := range data {
+		if data[i] != want[i] {
+			t.Fatalf("mismatch at %d: %#x vs %#x", i, data[i], want[i])
+		}
+	}
+}
+
+func TestStability(t *testing.T) {
+	// Equal keys must keep their input order; payloads record positions.
+	data := make([]uint64, 1000)
+	for i := range data {
+		data[i] = uint64(i)<<32 | uint64(i%7) // 7 distinct keys
+	}
+	Tuples(data, 3)
+	var prevKey, prevPos uint64
+	for i, v := range data {
+		key, pos := uint64(uint32(v)), v>>32
+		if key == prevKey && pos < prevPos && i > 0 {
+			t.Fatalf("stability violated at %d: key %d pos %d after pos %d", i, key, pos, prevPos)
+		}
+		prevKey, prevPos = key, pos
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	Tuples(nil, 4)          // no panic
+	Tuples([]uint64{42}, 4) // single element
+	data := []uint64{2, 1}  // two elements
+	Tuples(data, 4)
+	if data[0] != 1 || data[1] != 2 {
+		t.Errorf("two-element sort: %v", data)
+	}
+	// All-equal keys.
+	same := make([]uint64, 100)
+	for i := range same {
+		same[i] = uint64(i)<<32 | 5
+	}
+	Tuples(same, 2)
+	for i, v := range same {
+		if v>>32 != uint64(i) {
+			t.Fatalf("all-equal keys reordered at %d", i)
+		}
+	}
+}
+
+func TestExtremeKeys(t *testing.T) {
+	data := []uint64{0xFFFFFFFF, 0, 0x80000000, 0x7FFFFFFF, 1}
+	Tuples(data, 1)
+	want := []uint64{0, 1, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF}
+	for i := range data {
+		if data[i] != want[i] {
+			t.Fatalf("extreme keys: %v", data)
+		}
+	}
+}
+
+func TestMoreThreadsThanElements(t *testing.T) {
+	data := randTuples(5, 9)
+	Tuples(data, 64)
+	if !IsSortedByKey(data) {
+		t.Fatal("not sorted with excess threads")
+	}
+}
+
+func TestRelationSort(t *testing.T) {
+	rel, err := workload.NewGenerator(11).Relation(workload.Random, 8, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Relation(rel, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !IsSortedByKey(rel.Data) {
+		t.Fatal("relation not sorted")
+	}
+	wide, _ := workload.NewRelation(workload.RowLayout, 16, 4)
+	if err := Relation(wide, 1); err == nil {
+		t.Error("16-byte relation accepted")
+	}
+	col, _ := workload.NewRelation(workload.ColumnLayout, 8, 4)
+	if err := Relation(col, 1); err == nil {
+		t.Error("column relation accepted")
+	}
+}
+
+func TestPropertySortIsPermutationAndSorted(t *testing.T) {
+	f := func(seed int64, nRaw uint16, threads uint8) bool {
+		n := int(nRaw) % 5000
+		th := int(threads)%8 + 1
+		data := randTuples(n, seed)
+		sum := uint64(0)
+		for _, v := range data {
+			sum += v
+		}
+		Tuples(data, th)
+		if !IsSortedByKey(data) {
+			return false
+		}
+		got := uint64(0)
+		for _, v := range data {
+			got += v
+		}
+		return got == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSortedByKey(t *testing.T) {
+	if !IsSortedByKey([]uint64{1, 2, 2, 3}) {
+		t.Error("sorted slice reported unsorted")
+	}
+	if IsSortedByKey([]uint64{2, 1}) {
+		t.Error("unsorted slice reported sorted")
+	}
+	if !IsSortedByKey(nil) {
+		t.Error("empty slice should be sorted")
+	}
+	// Only the low 32 bits (the key) matter.
+	if !IsSortedByKey([]uint64{0xFF00000001, 0x0000000002}) {
+		t.Error("payload bits must not affect ordering")
+	}
+}
+
+func BenchmarkRadixSort(b *testing.B) {
+	const n = 1 << 20
+	orig := randTuples(n, 1)
+	data := make([]uint64, n)
+	b.SetBytes(n * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(data, orig)
+		Tuples(data, 1)
+	}
+}
+
+func BenchmarkStdlibSort(b *testing.B) {
+	const n = 1 << 20
+	orig := randTuples(n, 1)
+	data := make([]uint64, n)
+	b.SetBytes(n * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(data, orig)
+		sort.Slice(data, func(x, y int) bool { return uint32(data[x]) < uint32(data[y]) })
+	}
+}

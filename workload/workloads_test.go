@@ -1,0 +1,119 @@
+package workload
+
+import "testing"
+
+func TestSpecsMatchTable4(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 5 {
+		t.Fatalf("got %d workloads, want 5", len(specs))
+	}
+	a := specs[0]
+	if a.ID != WorkloadA || a.TuplesR != 128e6 || a.TuplesS != 128e6 || a.Distribution != Linear {
+		t.Errorf("workload A spec wrong: %+v", a)
+	}
+	b := specs[1]
+	if b.TuplesR != 16<<20 || b.TuplesS != 256<<20 || b.Distribution != Linear {
+		t.Errorf("workload B spec wrong: %+v", b)
+	}
+	if specs[2].Distribution != Random || specs[3].Distribution != Grid || specs[4].Distribution != ReverseGrid {
+		t.Errorf("C/D/E distributions wrong: %+v", specs[2:])
+	}
+}
+
+func TestSpecLookup(t *testing.T) {
+	s, err := Spec(WorkloadC)
+	if err != nil || s.ID != WorkloadC {
+		t.Errorf("Spec(C) = %+v, %v", s, err)
+	}
+	if _, err := Spec("Z"); err == nil {
+		t.Error("Spec(Z) succeeded, want error")
+	}
+}
+
+func TestScaledPreservesRatio(t *testing.T) {
+	b, _ := Spec(WorkloadB)
+	s := b.Scaled(1.0 / 16)
+	if s.TuplesR != 1<<20 || s.TuplesS != 16<<20 {
+		t.Errorf("scaled B = %d/%d, want %d/%d", s.TuplesR, s.TuplesS, 1<<20, 16<<20)
+	}
+	// Degenerate scales are ignored rather than producing empty relations.
+	if b.Scaled(0).TuplesR != b.TuplesR || b.Scaled(2).TuplesR != b.TuplesR {
+		t.Error("out-of-range scale should be a no-op")
+	}
+	tiny := WorkloadSpec{ID: "t", TuplesR: 2, TuplesS: 2, Distribution: Linear}
+	if got := tiny.Scaled(0.001); got.TuplesR < 1 || got.TuplesS < 1 {
+		t.Errorf("scaling must keep at least one tuple: %+v", got)
+	}
+}
+
+func TestGenerateLinearEveryProbeMatches(t *testing.T) {
+	spec := WorkloadSpec{ID: "test", TuplesR: 1 << 12, TuplesS: 1 << 13, Distribution: Linear}
+	in, err := spec.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.R.NumTuples != 1<<12 || in.S.NumTuples != 1<<13 {
+		t.Fatalf("sizes: %d %d", in.R.NumTuples, in.S.NumTuples)
+	}
+	rKeys := make(map[uint32]bool, in.R.NumTuples)
+	for i := 0; i < in.R.NumTuples; i++ {
+		rKeys[in.R.Key(i)] = true
+	}
+	for i := 0; i < in.S.NumTuples; i++ {
+		if !rKeys[in.S.Key(i)] {
+			t.Fatalf("S key %d at %d has no R match", in.S.Key(i), i)
+		}
+	}
+}
+
+func TestGenerateOtherDistributionsProbesHit(t *testing.T) {
+	for _, d := range []Distribution{Random, Grid, ReverseGrid} {
+		spec := WorkloadSpec{ID: "test", TuplesR: 4096, TuplesS: 4096, Distribution: d}
+		in, err := spec.Generate(11)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		rKeys := make(map[uint32]bool)
+		for i := 0; i < in.R.NumTuples; i++ {
+			rKeys[in.R.Key(i)] = true
+		}
+		for i := 0; i < in.S.NumTuples; i++ {
+			if !rKeys[in.S.Key(i)] {
+				t.Fatalf("%v: S key %#x has no R match", d, in.S.Key(i))
+			}
+		}
+	}
+}
+
+func TestGenerateSkewedKeysInRange(t *testing.T) {
+	spec := WorkloadSpec{ID: "skew", TuplesR: 1 << 12, TuplesS: 1 << 12, Distribution: Linear}
+	in, err := spec.GenerateSkewed(13, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < in.S.NumTuples; i++ {
+		k := in.S.Key(i)
+		if k < 1 || k > uint32(spec.TuplesR) {
+			t.Fatalf("skewed S key %d out of R's key range", k)
+		}
+	}
+	// Skewed S must have a dominant key.
+	counts := make(map[uint32]int)
+	max := 0
+	for i := 0; i < in.S.NumTuples; i++ {
+		counts[in.S.Key(i)]++
+		if counts[in.S.Key(i)] > max {
+			max = counts[in.S.Key(i)]
+		}
+	}
+	if max < in.S.NumTuples/100 {
+		t.Errorf("Zipf(1.0) S: hottest key only %d of %d", max, in.S.NumTuples)
+	}
+}
+
+func TestGenerateRejectsZipfSpec(t *testing.T) {
+	spec := WorkloadSpec{ID: "bad", TuplesR: 8, TuplesS: 8, Distribution: Zipf}
+	if _, err := spec.Generate(1); err == nil {
+		t.Error("Generate with Zipf distribution succeeded, want error")
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ZipfGenerator draws values in [1, n] with probability proportional to
+// 1/rank^s for any skew exponent s ≥ 0 (the paper skews relation S with Zipf
+// factors from 0.25 to 1.75, Section 5.4).
+//
+// The standard library's rand.Zipf requires s > 1, so we implement
+// rejection-inversion sampling (Hörmann & Derflinger, "Rejection-inversion to
+// generate variates from monotone discrete distributions"), which is O(1) per
+// sample, needs no table, and supports the full exponent range including the
+// uniform case s = 0 and the harmonic case s = 1.
+type ZipfGenerator struct {
+	rng *rand.Rand
+	s   float64
+	n   int
+
+	hIntegralX1               float64
+	hIntegralNumberOfElements float64
+	sCut                      float64
+}
+
+// NewZipfGenerator returns a generator over [1, n] with exponent s.
+func NewZipfGenerator(rng *rand.Rand, s float64, n int) (*ZipfGenerator, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: Zipf alphabet size %d < 1", n)
+	}
+	if s < 0 || math.IsNaN(s) {
+		return nil, fmt.Errorf("workload: Zipf exponent %v < 0", s)
+	}
+	z := &ZipfGenerator{rng: rng, s: s, n: n}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralNumberOfElements = z.hIntegral(float64(n) + 0.5)
+	z.sCut = 2 - z.hIntegralInverse(z.hIntegral(2.5)-z.h(2))
+	return z, nil
+}
+
+// Next returns the next sample in [1, n], where 1 is the most frequent
+// value.
+func (z *ZipfGenerator) Next() int {
+	if z.n == 1 {
+		return 1
+	}
+	for {
+		u := z.hIntegralNumberOfElements +
+			z.rng.Float64()*(z.hIntegralX1-z.hIntegralNumberOfElements)
+		x := z.hIntegralInverse(u)
+		k := int(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > z.n {
+			k = z.n
+		}
+		if float64(k)-x <= z.sCut || u >= z.hIntegral(float64(k)+0.5)-z.h(float64(k)) {
+			return k
+		}
+	}
+}
+
+// hIntegral is the antiderivative of h(x) = x^-s, written via helper2 to stay
+// accurate as s approaches 1.
+func (z *ZipfGenerator) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2((1-z.s)*logX) * logX
+}
+
+// h is the unnormalized density x^-s.
+func (z *ZipfGenerator) h(x float64) float64 {
+	return math.Exp(-z.s * math.Log(x))
+}
+
+// hIntegralInverse inverts hIntegral.
+func (z *ZipfGenerator) hIntegralInverse(x float64) float64 {
+	t := x * (1 - z.s)
+	if t < -1 {
+		// Round-off protection: t must stay in the domain of log1p.
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with a Taylor fallback near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x/2 + x*x/3 - x*x*x/4
+}
+
+// helper2 computes expm1(x)/x with a Taylor fallback near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x/2 + x*x/6 + x*x*x/24
+}
