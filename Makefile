@@ -1,0 +1,30 @@
+# Tier-1 verification and development targets.
+#
+#   make verify   — full gate: build, vet, race-free tests, race-enabled tests
+#   make tier1    — the minimal tier-1 loop (build + test)
+#
+# The race target skips fpgapart/experiments: it re-runs every paper
+# experiment and the race detector's ~10x overhead pushes it past any
+# practical budget. It is sequential simulation code and stays covered
+# by the race-free `test` target.
+
+GO ?= go
+
+.PHONY: verify tier1 build vet test race
+
+verify: build vet test race
+
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 20m $$($(GO) list ./... | grep -v fpgapart/experiments)

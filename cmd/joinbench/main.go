@@ -1,19 +1,27 @@
 // Command joinbench runs radix hash joins — pure CPU, hybrid CPU+FPGA, or
 // non-partitioned — on the paper's workloads and prints the phase breakdown.
+// With -nodes it runs the distributed join over the simulated RDMA fabric
+// instead, optionally under a deterministic fault scenario.
 //
 // Examples:
 //
 //	joinbench -workload A -scale 0.0625 -system hybrid -format pad
 //	joinbench -workload E -system cpu -hash=false
 //	joinbench -workload A -zipf 1.25 -system hybrid -format hist
+//	joinbench -workload A -scale 0.01 -nodes 4 -fault-seed 7 \
+//	    -fault-corrupt 0.01 -fault-crash 1 -fault-degrade 0:2:0.25
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
+	"fpgapart/distjoin"
 	"fpgapart/hashjoin"
+	"fpgapart/internal/faults"
 	"fpgapart/partition"
 	"fpgapart/workload"
 )
@@ -30,6 +38,18 @@ func main() {
 		vrid    = flag.Bool("vrid", false, "hybrid column-store (VRID) mode")
 		zipf    = flag.Float64("zipf", 0, "skew S with this Zipf factor (>0)")
 		seed    = flag.Int64("seed", 42, "generator seed")
+
+		nodes = flag.Int("nodes", 0, "run the distributed join on this many simulated nodes (0 = local join)")
+
+		faultSeed       = flag.Uint64("fault-seed", 1, "fault scenario seed (reproducible)")
+		faultDrop       = flag.Float64("fault-drop", 0, "per-message drop probability")
+		faultCorrupt    = flag.Float64("fault-corrupt", 0, "per-message corruption probability")
+		faultDelayProb  = flag.Float64("fault-delay", 0, "per-message delay probability")
+		faultDelayUS    = flag.Float64("fault-delay-us", 50, "mean extra delay of delayed messages (µs)")
+		faultCrash      = flag.Int("fault-crash", -1, "node to fail-stop mid-exchange (-1 = none)")
+		faultCrashAfter = flag.Float64("fault-crash-after", 0.5, "fraction of the exchange after which the node crashes")
+		faultDegrade    = flag.String("fault-degrade", "", "degraded link as src:dst:factor (e.g. 0:2:0.25)")
+		faultStraggle   = flag.String("fault-straggle", "", "straggler as node:factor (e.g. 3:2.5)")
 	)
 	flag.Parse()
 
@@ -49,6 +69,16 @@ func main() {
 	}
 	fmt.Printf("workload %s: R %d ⋈ S %d tuples, %s keys\n",
 		spec.ID, spec.TuplesR, spec.TuplesS, spec.Distribution)
+
+	if *nodes > 0 {
+		scenario, err := buildScenario(*faultSeed, *faultDrop, *faultCorrupt, *faultDelayProb,
+			*faultDelayUS, *faultCrash, *faultCrashAfter, *faultDegrade, *faultStraggle)
+		if err != nil {
+			fatal(err)
+		}
+		runDistributed(in, *nodes, *parts, *threads, *system, *format, scenario)
+		return
+	}
 
 	opts := hashjoin.Options{
 		Partitions: *parts,
@@ -102,6 +132,95 @@ func main() {
 	}
 	if res.FellBack {
 		fmt.Println("note:          PAD overflow — partitioning fell back to the CPU")
+	}
+}
+
+// buildScenario assembles the fault scenario from the CLI flags; it returns
+// nil when every fault knob is at its default (fault-free run).
+func buildScenario(seed uint64, drop, corrupt, delayProb, delayUS float64,
+	crash int, crashAfter float64, degrade, straggle string) (*faults.Scenario, error) {
+	s := &faults.Scenario{
+		Seed: seed, DropProb: drop, CorruptProb: corrupt,
+		DelayProb: delayProb, DelayUS: delayUS,
+	}
+	active := drop > 0 || corrupt > 0 || delayProb > 0
+	if crash >= 0 {
+		s.Crashes = append(s.Crashes, faults.Crash{Node: crash, AfterFraction: crashAfter})
+		active = true
+	}
+	if degrade != "" {
+		f, err := splitFloats(degrade, 3, "src:dst:factor")
+		if err != nil {
+			return nil, err
+		}
+		s.Links = append(s.Links, faults.Link{Src: int(f[0]), Dst: int(f[1]), Factor: f[2]})
+		active = true
+	}
+	if straggle != "" {
+		f, err := splitFloats(straggle, 2, "node:factor")
+		if err != nil {
+			return nil, err
+		}
+		s.Stragglers = append(s.Stragglers, faults.Straggler{Node: int(f[0]), Factor: f[1]})
+		active = true
+	}
+	if !active {
+		return nil, nil
+	}
+	return s, nil
+}
+
+func splitFloats(spec string, n int, format string) ([]float64, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != n {
+		return nil, fmt.Errorf("%q is not of the form %s", spec, format)
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q is not of the form %s: %v", spec, format, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func runDistributed(in *workload.JoinInput, nodes, parts, threads int, system, format string, scenario *faults.Scenario) {
+	opts := distjoin.Options{
+		Nodes:             nodes,
+		PartitionsPerNode: parts / nodes,
+		Threads:           threads,
+		Faults:            scenario,
+	}
+	if system == "hybrid" {
+		opts.UseFPGA = true
+		opts.Format = partition.HistMode
+		if format == "pad" {
+			opts.Format = partition.PadMode
+		}
+	}
+	res, err := distjoin.Join(in.R, in.S, opts)
+	if err != nil {
+		fatal(err)
+	}
+	kind := "cpu"
+	if opts.UseFPGA {
+		kind = "fpga"
+	}
+	fmt.Printf("system:        distributed/%s, %d nodes × %d partitions\n", kind, res.Nodes, opts.PartitionsPerNode)
+	fmt.Printf("matches:       %d (checksum %#x)\n", res.Matches, res.Checksum)
+	fmt.Printf("partition:     %v\n", res.PartitionTime)
+	fmt.Printf("exchange:      %v  (%.1f MB payload, %.1f MB resent)\n",
+		res.ExchangeTime, float64(res.BytesExchanged)/1e6, float64(res.ResentBytes)/1e6)
+	fmt.Printf("local join:    %v\n", res.JoinTime)
+	fmt.Printf("total:         %v\n", res.Total)
+	if scenario != nil {
+		fmt.Printf("faults:        seed %d, %d retries, %d corrupt pieces\n",
+			scenario.Seed, res.Retries, res.CorruptPieces)
+	}
+	if res.Degraded {
+		fmt.Printf("note:          DEGRADED — node(s) %v crashed; survivors took over their partitions\n", res.FailedNodes)
 	}
 }
 

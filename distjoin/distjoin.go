@@ -12,12 +12,20 @@
 // partitioning is measured (CPU) or simulated (FPGA) per node, and the
 // local joins run for real. Per-phase time is the slowest node, as the
 // phases are cluster-synchronous.
+//
+// The exchange is fault-tolerant: Options.Faults injects a deterministic
+// failure scenario (internal/faults) under which messages are retried with
+// exponential backoff, corrupt pieces are detected by checksum and
+// re-requested, and crashed nodes' partitions are deterministically taken
+// over by the survivors so the join still completes with the exact same
+// Matches and Checksum, reporting Degraded. See Result's fault fields.
 package distjoin
 
 import (
 	"fmt"
 	"time"
 
+	"fpgapart/internal/faults"
 	"fpgapart/internal/hashutil"
 	"fpgapart/internal/joincore"
 	"fpgapart/internal/rdma"
@@ -26,6 +34,12 @@ import (
 	"fpgapart/workload"
 )
 
+// ErrSimulatorFault is partition.ErrSimulatorFault re-exported: invariant
+// panics from the simulator internals (internal/fpga, internal/qpi) are
+// converted into errors wrapping this sentinel instead of crashing the
+// caller. Test with errors.Is.
+var ErrSimulatorFault = partition.ErrSimulatorFault
+
 // Options configures a distributed join.
 type Options struct {
 	// Nodes is the cluster size (power of two ≥ 1).
@@ -33,7 +47,9 @@ type Options struct {
 	// PartitionsPerNode is the per-node fan-out after the exchange (power
 	// of two); the global fan-out is Nodes × PartitionsPerNode.
 	PartitionsPerNode int
-	// Fabric models the network; defaults to rdma.FDRCluster(Nodes).
+	// Fabric models the network; defaults to rdma.FDRCluster(Nodes). Its
+	// node count must equal Nodes (and hence be a power of two): the
+	// exchange matrix is indexed by the join's node IDs.
 	Fabric *rdma.Fabric
 	// UseFPGA partitions each node's shard on the simulated FPGA circuit
 	// instead of the measured CPU partitioner.
@@ -41,10 +57,16 @@ type Options struct {
 	// Format is the FPGA mode (HIST recommended for unknown skew).
 	Format partition.Format
 	// Threads is the per-node build+probe (and CPU partitioning)
-	// parallelism.
+	// parallelism. Negative values are rejected; 0 means all cores.
 	Threads int
 	// Platform supplies the FPGA clock/link and coherence model.
 	Platform *platform.Platform
+	// Faults injects a deterministic failure scenario into the exchange
+	// (nil = perfect cluster, the fault-free fast path).
+	Faults *faults.Scenario
+	// Retry tunes the fault-aware exchange's timeout/retransmission policy
+	// (zero value = rdma defaults). Only consulted when Faults is set.
+	Retry rdma.RetryPolicy
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +89,62 @@ func (o *Options) validate() error {
 	if !hashutil.IsPowerOfTwo(o.PartitionsPerNode) {
 		return fmt.Errorf("distjoin: PartitionsPerNode %d must be a power of two", o.PartitionsPerNode)
 	}
+	if o.Threads < 0 {
+		return fmt.Errorf("distjoin: negative Threads %d", o.Threads)
+	}
+	if err := o.Fabric.Validate(); err != nil {
+		return fmt.Errorf("distjoin: bad fabric: %w", err)
+	}
+	// The fabric model itself accepts any node count; the join addresses
+	// nodes by partition low bits, so here the count must be this join's
+	// power-of-two Nodes exactly.
+	if !hashutil.IsPowerOfTwo(o.Fabric.Nodes) {
+		return fmt.Errorf("distjoin: fabric has %d nodes, not a power of two", o.Fabric.Nodes)
+	}
+	if o.Fabric.Nodes != o.Nodes {
+		return fmt.Errorf("distjoin: fabric has %d nodes for a %d-node join", o.Fabric.Nodes, o.Nodes)
+	}
+	if err := o.Platform.Validate(); err != nil {
+		return fmt.Errorf("distjoin: bad platform: %w", err)
+	}
+	if err := o.Retry.Validate(); err != nil {
+		return fmt.Errorf("distjoin: bad retry policy: %w", err)
+	}
+	if o.Faults != nil {
+		if err := o.Faults.Validate(); err != nil {
+			return fmt.Errorf("distjoin: bad fault scenario: %w", err)
+		}
+		if err := o.validateScenarioNodes(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateScenarioNodes range-checks the scenario's node references against
+// the cluster and requires at least one survivor.
+func (o *Options) validateScenarioNodes() error {
+	s := o.Faults
+	for _, l := range s.Links {
+		if l.Src >= o.Nodes || l.Dst >= o.Nodes {
+			return fmt.Errorf("distjoin: degraded link %d→%d on a %d-node cluster", l.Src, l.Dst, o.Nodes)
+		}
+	}
+	for _, st := range s.Stragglers {
+		if st.Node >= o.Nodes {
+			return fmt.Errorf("distjoin: straggler node %d on a %d-node cluster", st.Node, o.Nodes)
+		}
+	}
+	crashed := 0
+	for _, c := range s.Crashes {
+		if c.Node >= o.Nodes {
+			return fmt.Errorf("distjoin: crash of node %d on a %d-node cluster", c.Node, o.Nodes)
+		}
+		crashed++
+	}
+	if crashed >= o.Nodes {
+		return fmt.Errorf("distjoin: all %d nodes crash — no survivors to degrade onto", o.Nodes)
+	}
 	return nil
 }
 
@@ -78,26 +156,72 @@ type Result struct {
 	// PartitionTime is the slowest node's partitioning time for both
 	// relations (simulated when UseFPGA).
 	PartitionTime time.Duration
-	// ExchangeTime is the simulated all-to-all RDMA exchange.
+	// ExchangeTime is the simulated all-to-all RDMA exchange, including —
+	// under a fault scenario — timeouts, backoffs, piece re-requests and
+	// the recovery round after node crashes.
 	ExchangeTime time.Duration
 	// JoinTime is the slowest node's measured local build+probe (with the
 	// coherence penalty when the partitions were FPGA/NIC-written).
 	JoinTime time.Duration
 	Total    time.Duration
 
-	// BytesExchanged is the total off-node traffic.
+	// BytesExchanged is the total off-node payload traffic (one clean copy
+	// of every piece); retransmitted traffic is reported separately.
 	BytesExchanged int64
 	Nodes          int
 	GlobalFanOut   int
+
+	// Retries is the total number of retransmissions during the exchange:
+	// message-level retries after drops/timeouts plus whole-piece
+	// re-requests after checksum failures.
+	Retries int64
+	// CorruptPieces counts piece receptions that failed checksum
+	// verification and were re-requested from the sender.
+	CorruptPieces int64
+	// ResentBytes is the wire traffic beyond one clean copy of each piece:
+	// retransmissions, re-requests, traffic wasted on nodes that then
+	// crashed, and the recovery round's re-pulls.
+	ResentBytes int64
+	// FailedNodes lists the nodes that crashed during the exchange
+	// (sorted); their partitions were taken over by the survivors.
+	FailedNodes []int
+	// Degraded reports that the join completed despite node failures, with
+	// surviving nodes covering the crashed nodes' partitions.
+	Degraded bool
 }
 
-// Join executes the distributed join of r ⋈ s under opts.
-func Join(r, s *workload.Relation, opts Options) (*Result, error) {
+// Join executes the distributed join of r ⋈ s under opts. Invariant panics
+// escaping the simulator internals are converted into ErrSimulatorFault
+// errors rather than crashing the caller.
+func Join(r, s *workload.Relation, opts Options) (res *Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = nil, fmt.Errorf("distjoin: %w: %v", ErrSimulatorFault, rec)
+		}
+	}()
+	return join(r, s, opts)
+}
+
+func join(r, s *workload.Relation, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	global := opts.Nodes * opts.PartitionsPerNode
+
+	var inj *faults.Injector
+	if opts.Faults != nil {
+		var err error
+		if inj, err = faults.New(*opts.Faults); err != nil {
+			return nil, err
+		}
+	}
+	straggle := func(n int) float64 {
+		if inj == nil {
+			return 1
+		}
+		return inj.StraggleFactor(n)
+	}
 
 	rShards := shard(r, opts.Nodes)
 	sShards := shard(s, opts.Nodes)
@@ -121,34 +245,28 @@ func Join(r, s *workload.Relation, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("distjoin: node %d partitioning S: %w", n, err)
 		}
 		rParts[n], sParts[n] = pr, ps
-		if t := pr.Elapsed() + ps.Elapsed(); t > slowest {
+		if t := time.Duration(float64(pr.Elapsed()+ps.Elapsed()) * straggle(n)); t > slowest {
 			slowest = t
 		}
 	}
 
 	// Phase 2: all-to-all exchange. Node i sends partition p (of either
 	// relation) to node p & (Nodes-1); physical bytes include dummy padding
-	// for FPGA-written partitions (8 bytes per addressable slot).
-	sendBytes := make([][]int64, opts.Nodes)
-	var offNode int64
-	for i := range sendBytes {
-		sendBytes[i] = make([]int64, opts.Nodes)
-		for gp := 0; gp < global; gp++ {
-			dst := gp & (opts.Nodes - 1)
-			bytes := int64(rParts[i].SlotCount(gp)+sParts[i].SlotCount(gp)) * 8
-			sendBytes[i][dst] += bytes
-			if dst != i {
-				offNode += bytes
-			}
-		}
-	}
-	exchangeSec, err := opts.Fabric.ExchangeSeconds(sendBytes)
+	// for FPGA-written partitions (8 bytes per addressable slot). Under a
+	// fault scenario the exchange runs message by message with retries,
+	// checksum verification and crash takeover (faulttolerance.go).
+	ex, err := runExchange(rParts, sParts, opts, inj, global)
 	if err != nil {
 		return nil, err
 	}
 
-	// Phase 3: per destination node, join its owned partitions, with each
-	// partition assembled from all nodes' pieces.
+	// Phase 3: per owning node, join its partitions, each assembled from
+	// all nodes' pieces. After a crash, ownership reflects the takeover.
+	ownedGPs := make([][]int, opts.Nodes)
+	for gp := 0; gp < global; gp++ {
+		n := ex.ownerOf[gp]
+		ownedGPs[n] = append(ownedGPs[n], gp)
+	}
 	var matches int64
 	var checksum uint64
 	var slowestJoin time.Duration
@@ -159,15 +277,18 @@ func Join(r, s *workload.Relation, opts Options) (*Result, error) {
 		penalty = opts.Platform.Coherence.ProbePenalty()
 	}
 	for n := 0; n < opts.Nodes; n++ {
-		rm := newMerged(rParts, n, opts.Nodes, opts.PartitionsPerNode)
-		sm := newMerged(sParts, n, opts.Nodes, opts.PartitionsPerNode)
+		if len(ownedGPs[n]) == 0 {
+			continue
+		}
+		rm := newMerged(rParts, ownedGPs[n])
+		sm := newMerged(sParts, ownedGPs[n])
 		bp, err := joincore.BuildProbe(rm, sm, opts.Threads)
 		if err != nil {
 			return nil, err
 		}
 		matches += bp.Matches
 		checksum += bp.Checksum
-		t := time.Duration(float64(bp.Elapsed) * penalty)
+		t := time.Duration(float64(bp.Elapsed) * penalty * straggle(n))
 		if t > slowestJoin {
 			slowestJoin = t
 		}
@@ -177,17 +298,24 @@ func Join(r, s *workload.Relation, opts Options) (*Result, error) {
 		Matches:        matches,
 		Checksum:       checksum,
 		PartitionTime:  slowest,
-		ExchangeTime:   time.Duration(exchangeSec * float64(time.Second)),
+		ExchangeTime:   time.Duration(ex.seconds * float64(time.Second)),
 		JoinTime:       slowestJoin,
-		BytesExchanged: offNode,
+		BytesExchanged: ex.payloadBytes,
 		Nodes:          opts.Nodes,
 		GlobalFanOut:   global,
+		Retries:        ex.retries,
+		CorruptPieces:  ex.corruptPieces,
+		ResentBytes:    ex.resentBytes,
+		FailedNodes:    ex.failedNodes,
+		Degraded:       ex.degraded,
 	}
 	res.Total = res.PartitionTime + res.ExchangeTime + res.JoinTime
 	return res, nil
 }
 
-func makePartitioner(opts Options, global int) (partition.Partitioner, error) {
+// makePartitioner is a package variable so tests can substitute a faulty
+// backend and exercise the recovery boundary.
+var makePartitioner = func(opts Options, global int) (partition.Partitioner, error) {
 	if opts.UseFPGA {
 		return partition.NewFPGA(partition.FPGAOptions{
 			Partitions:      global,
@@ -225,44 +353,42 @@ func shard(rel *workload.Relation, n int) []*workload.Relation {
 	return shards
 }
 
-// merged presents node-owned partitions, each assembled from every source
-// node's piece, as a joincore.Partitions.
+// merged presents a set of global partitions, each assembled from every
+// source node's piece, as a joincore.Partitions. The set is the partitions
+// one node owns — by the static `gp & (Nodes-1)` rule, or after a crash
+// takeover an arbitrary list.
 type merged struct {
-	parts   []*partition.Result
-	node    int
-	nodes   int
-	perNode int
-	// prefix[lp][src] is the slot offset of source src's piece within
-	// owned local partition lp.
+	parts []*partition.Result
+	gps   []int
+	// prefix[i][src] is the slot offset of source src's piece within the
+	// i-th owned partition.
 	prefix [][]int
 	total  []int
 }
 
-func newMerged(parts []*partition.Result, node, nodes, perNode int) *merged {
-	m := &merged{parts: parts, node: node, nodes: nodes, perNode: perNode}
-	m.prefix = make([][]int, perNode)
-	m.total = make([]int, perNode)
-	for lp := 0; lp < perNode; lp++ {
-		gp := lp*nodes + node // global partition owned by this node
+func newMerged(parts []*partition.Result, gps []int) *merged {
+	m := &merged{parts: parts, gps: gps}
+	m.prefix = make([][]int, len(gps))
+	m.total = make([]int, len(gps))
+	for i, gp := range gps {
 		off := make([]int, len(parts)+1)
 		for src := range parts {
 			off[src+1] = off[src] + parts[src].SlotCount(gp)
 		}
-		m.prefix[lp] = off
-		m.total[lp] = off[len(parts)]
+		m.prefix[i] = off
+		m.total[i] = off[len(parts)]
 	}
 	return m
 }
 
-func (m *merged) NumPartitions() int  { return m.perNode }
+func (m *merged) NumPartitions() int  { return len(m.gps) }
 func (m *merged) SlotCount(p int) int { return m.total[p] }
 func (m *merged) Slot(p, i int) (uint32, uint32, bool) {
 	off := m.prefix[p]
-	// Binary search over source pieces (few nodes: linear is fine).
+	// Linear search over source pieces (few nodes: linear is fine).
 	src := 0
 	for off[src+1] <= i {
 		src++
 	}
-	gp := p*m.nodes + m.node
-	return m.parts[src].Slot(gp, i-off[src])
+	return m.parts[src].Slot(m.gps[p], i-off[src])
 }

@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScenarioValidate(t *testing.T) {
+	bad := []Scenario{
+		{DropProb: -0.1},
+		{DropProb: 1},
+		{CorruptProb: 1.5},
+		{DelayProb: -1},
+		{DropProb: 0.6, CorruptProb: 0.5},
+		{DelayUS: -3},
+		{Links: []Link{{Src: 0, Dst: 1, Factor: 0}}},
+		{Links: []Link{{Src: 0, Dst: 1, Factor: 1.5}}},
+		{Links: []Link{{Src: 1, Dst: 1, Factor: 0.5}}},
+		{Links: []Link{{Src: -1, Dst: 1, Factor: 0.5}}},
+		{Crashes: []Crash{{Node: -1}}},
+		{Crashes: []Crash{{Node: 0, AfterFraction: 2}}},
+		{Crashes: []Crash{{Node: 1}, {Node: 1}}},
+		{Stragglers: []Straggler{{Node: 0, Factor: 0.5}}},
+		{Stragglers: []Straggler{{Node: -2, Factor: 2}}},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("scenario %d validated: %+v", i, s)
+		}
+	}
+	good := Scenario{
+		Seed: 1, DropProb: 0.1, CorruptProb: 0.05, DelayProb: 0.2, DelayUS: 50,
+		Links:      []Link{{Src: 0, Dst: 3, Factor: 0.25}},
+		Crashes:    []Crash{{Node: 2, AfterFraction: 0.5}},
+		Stragglers: []Straggler{{Node: 1, Factor: 2}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good scenario rejected: %v", err)
+	}
+}
+
+func TestFateDeterministicAndOrderIndependent(t *testing.T) {
+	inj, err := New(Scenario{Seed: 42, DropProb: 0.3, CorruptProb: 0.1, DelayProb: 0.2, DelayUS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []MsgID{
+		{Src: 0, Dst: 1, Piece: 7, Msg: 3},
+		{Src: 1, Dst: 0, Piece: 7, Msg: 3},
+		{Phase: 1, Src: 0, Dst: 1, Piece: 7, Msg: 3},
+		{Src: 0, Dst: 1, Piece: 7, Msg: 3, Attempt: 1},
+		{Src: 0, Dst: 1, Piece: 7, Msg: 3, Round: 2},
+	}
+	// Record in one order, replay in reverse: every answer must be a pure
+	// function of the MsgID.
+	type draw struct {
+		fate  Fate
+		delay float64
+		jit   float64
+	}
+	first := make([]draw, len(ids))
+	for i, id := range ids {
+		f, d := inj.MessageFate(id)
+		first[i] = draw{f, d, inj.Jitter(id)}
+	}
+	for i := len(ids) - 1; i >= 0; i-- {
+		f, d := inj.MessageFate(ids[i])
+		if f != first[i].fate || d != first[i].delay || inj.Jitter(ids[i]) != first[i].jit {
+			t.Errorf("id %d: replay disagrees", i)
+		}
+	}
+}
+
+func TestFateFrequenciesMatchProbabilities(t *testing.T) {
+	const n = 200000
+	inj, err := New(Scenario{Seed: 7, DropProb: 0.1, CorruptProb: 0.05, DelayProb: 0.2, DelayUS: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drops, corrupts, delays int
+	for i := 0; i < n; i++ {
+		f, d := inj.MessageFate(MsgID{Src: 0, Dst: 1, Piece: uint64(i)})
+		switch f {
+		case Drop:
+			drops++
+		case Corrupt:
+			corrupts++
+		}
+		if d > 0 {
+			delays++
+			if d < 50 || d >= 150 {
+				t.Fatalf("delay %v µs outside [50, 150)", d)
+			}
+		}
+	}
+	check := func(name string, got int, p float64) {
+		frac := float64(got) / n
+		if math.Abs(frac-p) > 0.01 {
+			t.Errorf("%s frequency %.4f, want ≈ %.2f", name, frac, p)
+		}
+	}
+	check("drop", drops, 0.1)
+	check("corrupt", corrupts, 0.05)
+	// Delay is drawn for non-dropped messages only.
+	check("delay", delays, 0.2*0.9)
+}
+
+func TestSeedsDecorrelate(t *testing.T) {
+	a, _ := New(Scenario{Seed: 1, DropProb: 0.5})
+	b, _ := New(Scenario{Seed: 2, DropProb: 0.5})
+	same := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		fa, _ := a.MessageFate(MsgID{Piece: uint64(i)})
+		fb, _ := b.MessageFate(MsgID{Piece: uint64(i)})
+		if fa == fb {
+			same++
+		}
+	}
+	// Independent 50/50 draws agree about half the time; identical streams
+	// would agree always.
+	if same > n*6/10 || same < n*4/10 {
+		t.Errorf("different seeds agree on %d/%d fates", same, n)
+	}
+}
+
+func TestJitterUniform(t *testing.T) {
+	inj, _ := New(Scenario{Seed: 3})
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		j := inj.Jitter(MsgID{Piece: uint64(i)})
+		if j < 0 || j >= 1 {
+			t.Fatalf("jitter %v outside [0, 1)", j)
+		}
+		sum += j
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("jitter mean %v, want ≈ 0.5", mean)
+	}
+}
+
+func TestLookups(t *testing.T) {
+	inj, err := New(Scenario{
+		Seed:       1,
+		Links:      []Link{{Src: 2, Dst: 0, Factor: 0.5}},
+		Crashes:    []Crash{{Node: 3, AfterFraction: 0.25}, {Node: 1, AfterFraction: 0}},
+		Stragglers: []Straggler{{Node: 0, Factor: 2.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := inj.LinkFactor(2, 0); f != 0.5 {
+		t.Errorf("degraded link factor %v", f)
+	}
+	if f := inj.LinkFactor(0, 2); f != 1 {
+		t.Errorf("reverse direction degraded too: %v", f)
+	}
+	if f, ok := inj.CrashFraction(3); !ok || f != 0.25 {
+		t.Errorf("crash fraction of node 3: %v, %v", f, ok)
+	}
+	if _, ok := inj.CrashFraction(0); ok {
+		t.Error("healthy node reported crashed")
+	}
+	if got := inj.CrashedNodes(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("crashed nodes %v, want [1 3]", got)
+	}
+	if f := inj.StraggleFactor(0); f != 2.5 {
+		t.Errorf("straggle factor %v", f)
+	}
+	if f := inj.StraggleFactor(1); f != 1 {
+		t.Errorf("healthy straggle factor %v", f)
+	}
+}
+
+func TestZeroScenarioAlwaysDelivers(t *testing.T) {
+	inj, err := New(Scenario{Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		f, d := inj.MessageFate(MsgID{Src: i % 4, Dst: (i + 1) % 4, Piece: uint64(i)})
+		if f != Deliver || d != 0 {
+			t.Fatalf("empty scenario produced fate %v delay %v", f, d)
+		}
+	}
+}

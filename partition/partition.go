@@ -27,6 +27,7 @@ import (
 
 	"fpgapart/internal/core"
 	"fpgapart/internal/cpupart"
+	"fpgapart/internal/hashutil"
 	"fpgapart/platform"
 	"fpgapart/workload"
 )
@@ -58,6 +59,22 @@ const (
 // ErrOverflow is reported (wrapped) when a PAD-mode run overflowed a
 // partition's padded size and no fallback was configured.
 var ErrOverflow = errors.New("partition: partition overflowed its padded size (PAD mode)")
+
+// ErrSimulatorFault is reported (wrapped) when an invariant violation inside
+// the simulator internals (internal/fpga's FIFOs and BRAMs, internal/qpi's
+// bandwidth budget) panics during a run. The Partitioner implementations
+// convert such panics into errors at the public API boundary, so a simulator
+// bug degrades into a failed call instead of crashing the process. Test with
+// errors.Is(err, ErrSimulatorFault).
+var ErrSimulatorFault = errors.New("partition: simulator invariant fault")
+
+// guardSimulator converts a panic escaping the simulator into an
+// ErrSimulatorFault-wrapping error. Used via defer with a named return.
+func guardSimulator(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: %v", ErrSimulatorFault, r)
+	}
+}
 
 // Partitioner partitions relations.
 type Partitioner interface {
@@ -158,6 +175,20 @@ func (r *Result) Slot(p, i int) (key, payload uint32, ok bool) {
 	return key, uint32(w >> 32), true
 }
 
+// PartitionChecksum returns an order-insensitive checksum over the valid
+// tuples of partition p (a commutative sum of per-tuple murmur hashes, so
+// backends that emit the same multiset in different orders agree). The
+// distributed exchange uses it for end-to-end verification of partition
+// pieces: the sender computes it before transmission, the receiver after
+// reassembly, and a mismatch triggers a re-request of the piece.
+func (r *Result) PartitionChecksum(p int) uint32 {
+	var h uint32
+	r.Each(p, func(key, payload uint32) {
+		h += hashutil.Murmur32Finalizer(key ^ hashutil.Murmur32Finalizer(payload))
+	})
+	return h
+}
+
 // Each iterates the valid tuples of partition p.
 func (r *Result) Each(p int, fn func(key, payload uint32)) {
 	if r.cpu != nil {
@@ -216,7 +247,8 @@ func (p *cpuPartitioner) Name() string {
 	return fmt.Sprintf("cpu-%s-%v", kind, p.cfg.Algorithm)
 }
 
-func (p *cpuPartitioner) Partition(rel *workload.Relation) (*Result, error) {
+func (p *cpuPartitioner) Partition(rel *workload.Relation) (result *Result, err error) {
+	defer guardSimulator(&err)
 	res, err := cpupart.Partition(rel, p.cfg)
 	if err != nil {
 		return nil, err
@@ -273,6 +305,9 @@ func NewFPGA(opts FPGAOptions) (Partitioner, error) {
 	if opts.Platform == nil {
 		opts.Platform = platform.XeonFPGA()
 	}
+	if err := opts.Platform.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
 	cfg := core.Config{
 		NumPartitions:        opts.Partitions,
 		TupleWidth:           opts.TupleWidth,
@@ -305,7 +340,8 @@ func (p *fpgaPartitioner) Name() string {
 	return fmt.Sprintf("fpga-%v/%v", p.circuit.Config().Format, p.circuit.Config().Layout)
 }
 
-func (p *fpgaPartitioner) Partition(rel *workload.Relation) (*Result, error) {
+func (p *fpgaPartitioner) Partition(rel *workload.Relation) (result *Result, err error) {
+	defer guardSimulator(&err)
 	if p.opts.ExtendedEndpoint {
 		// Input plus (roughly input-sized) output must fit the extended
 		// end-point's 2 GB allocation cap.

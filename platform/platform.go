@@ -198,6 +198,47 @@ type Platform struct {
 	Coherence CoherenceModel
 }
 
+// Validate reports whether the platform description is usable: positive
+// clocks and page size, and non-empty bandwidth curves with no negative
+// points. Consumers that simulate against the platform (partition.NewFPGA,
+// distjoin.Join) validate up front so a malformed hand-built platform fails
+// fast instead of producing NaN timings deep in a run.
+func (p *Platform) Validate() error {
+	if p == nil {
+		return fmt.Errorf("platform: nil platform")
+	}
+	if p.CPUClockHz <= 0 || p.FPGAClockHz <= 0 {
+		return fmt.Errorf("platform %q: non-positive clock (CPU %v Hz, FPGA %v Hz)", p.Name, p.CPUClockHz, p.FPGAClockHz)
+	}
+	if p.PageBytes <= 0 {
+		return fmt.Errorf("platform %q: non-positive page size %d", p.Name, p.PageBytes)
+	}
+	for _, c := range []struct {
+		name  string
+		curve BandwidthCurve
+	}{
+		{"CPUAlone", p.CPUAlone}, {"CPUInterfered", p.CPUInterfered},
+		{"FPGAAlone", p.FPGAAlone}, {"FPGAInterfered", p.FPGAInterfered},
+	} {
+		if len(c.curve.Points) == 0 {
+			return fmt.Errorf("platform %q: empty %s bandwidth curve", p.Name, c.name)
+		}
+		for _, pt := range c.curve.Points {
+			if pt < 0 {
+				return fmt.Errorf("platform %q: negative point %v in %s curve", p.Name, pt, c.name)
+			}
+		}
+	}
+	if p.Coherence.SeqReadLocalNS < 0 || p.Coherence.SeqReadRemoteNS < 0 ||
+		p.Coherence.RandReadLocalNS < 0 || p.Coherence.RandReadRemoteNS < 0 {
+		return fmt.Errorf("platform %q: negative coherence read cost", p.Name)
+	}
+	if p.Coherence.ProbeMemFraction < 0 || p.Coherence.ProbeMemFraction > 1 {
+		return fmt.Errorf("platform %q: ProbeMemFraction %v outside [0, 1]", p.Name, p.Coherence.ProbeMemFraction)
+	}
+	return nil
+}
+
 // XeonFPGA returns the Intel Xeon+FPGA v1 platform of the paper.
 //
 // Bandwidth calibration: the FPGA curve reproduces the QPI operating points

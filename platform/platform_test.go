@@ -175,6 +175,37 @@ func TestSocketString(t *testing.T) {
 	}
 }
 
+func TestValidateAcceptsBuiltins(t *testing.T) {
+	for _, p := range []*Platform{XeonFPGA(), RawFPGA(), FutureIntegrated()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBrokenPlatforms(t *testing.T) {
+	breakers := []func(*Platform){
+		func(p *Platform) { p.CPUClockHz = 0 },
+		func(p *Platform) { p.FPGAClockHz = -1 },
+		func(p *Platform) { p.PageBytes = 0 },
+		func(p *Platform) { p.FPGAAlone = BandwidthCurve{} },
+		func(p *Platform) { p.CPUInterfered.Points[3] = -2 },
+		func(p *Platform) { p.Coherence.RandReadRemoteNS = -1 },
+		func(p *Platform) { p.Coherence.ProbeMemFraction = 1.5 },
+	}
+	for i, brk := range breakers {
+		p := XeonFPGA()
+		brk(p)
+		if p.Validate() == nil {
+			t.Errorf("broken platform %d validated", i)
+		}
+	}
+	var nilP *Platform
+	if nilP.Validate() == nil {
+		t.Error("nil platform validated")
+	}
+}
+
 func TestPlatformShape(t *testing.T) {
 	p := XeonFPGA()
 	if p.CPUCores != 10 {
