@@ -1,7 +1,10 @@
 # Tier-1 verification and development targets.
 #
-#   make verify   — full gate: build, vet, race-free tests, race-enabled tests
+#   make verify   — full gate: build, vet, fpgavet lint, race-free tests,
+#                   race-enabled tests
 #   make tier1    — the minimal tier-1 loop (build + test)
+#   make lint     — fpgavet static-analysis suite (determinism, panic
+#                   boundary, error hygiene, clocked components)
 #
 # The race target skips fpgapart/experiments: it re-runs every paper
 # experiment and the race detector's ~10x overhead pushes it past any
@@ -10,9 +13,9 @@
 
 GO ?= go
 
-.PHONY: verify tier1 build vet test race
+.PHONY: verify tier1 build vet lint lint-fix test race
 
-verify: build vet test race
+verify: build vet lint test race
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
@@ -22,6 +25,17 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/fpgavet ./...
+
+# lint-fix reports findings as clickable file:line locations; automated
+# rewriting is not implemented, so it always exits 0 and leaves the fixes
+# to the developer (or to `//fpgavet:allow` where a violation is intended).
+lint-fix:
+	@$(GO) run ./cmd/fpgavet ./... \
+		&& echo "fpgavet: nothing to fix" \
+		|| echo "fpgavet: automated fixes are not implemented — apply the findings above by hand or suppress with //fpgavet:allow <analyzer> <reason>"
 
 test:
 	$(GO) test ./...

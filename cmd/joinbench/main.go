@@ -179,7 +179,7 @@ func splitFloats(spec string, n int, format string) ([]float64, error) {
 	for i, p := range parts {
 		v, err := strconv.ParseFloat(p, 64)
 		if err != nil {
-			return nil, fmt.Errorf("%q is not of the form %s: %v", spec, format, err)
+			return nil, fmt.Errorf("%q is not of the form %s: %w", spec, format, err)
 		}
 		out[i] = v
 	}

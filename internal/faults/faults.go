@@ -266,11 +266,14 @@ func (in *Injector) CrashFraction(node int) (float64, bool) {
 	return f, ok
 }
 
-// CrashedNodes returns the sorted list of crashed nodes.
+// CrashedNodes returns the sorted list of crashed nodes. It iterates the
+// scenario's declaration order, not the lookup map — map iteration order is
+// randomized per run and would leak into callers that build piece lists or
+// takeover assignments from this slice.
 func (in *Injector) CrashedNodes() []int {
-	nodes := make([]int, 0, len(in.crashes))
-	for n := range in.crashes {
-		nodes = append(nodes, n)
+	nodes := make([]int, 0, len(in.s.Crashes))
+	for _, c := range in.s.Crashes {
+		nodes = append(nodes, c.Node)
 	}
 	sort.Ints(nodes)
 	return nodes

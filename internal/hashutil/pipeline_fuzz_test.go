@@ -1,0 +1,37 @@
+// Fuzz parity between the software murmur finalizer and the cycle-stepped
+// five-stage hardware pipeline model. An external test package lets us
+// import internal/core (which itself imports hashutil) without a cycle.
+//
+// Runs as an ordinary test over the seed corpus under `go test`; run
+// `go test -fuzz=FuzzHashPipelineParity ./internal/hashutil` to explore.
+package hashutil_test
+
+import (
+	"testing"
+
+	"fpgapart/internal/core"
+	"fpgapart/internal/hashutil"
+)
+
+func FuzzHashPipelineParity(f *testing.F) {
+	seeds := []uint32{
+		0, 1, 2, 0xffffffff, 0x80000000, 0x7fffffff,
+		0xdeadbeef, 0x85ebca6b, 0xc2b2ae35, 1 << 16, 1<<16 - 1,
+	}
+	for _, s := range seeds {
+		f.Add(s, s*2654435761)
+	}
+	f.Fuzz(func(t *testing.T, a, b uint32) {
+		keys := []uint32{a, b, a ^ b, a + b}
+		p := core.NewHashPipeline()
+		hashes := p.HashAll(keys)
+		if len(hashes) != len(keys) {
+			t.Fatalf("pipeline returned %d hashes for %d keys", len(hashes), len(keys))
+		}
+		for i, k := range keys {
+			if want := hashutil.Murmur32Finalizer(k); hashes[i] != want {
+				t.Errorf("key %#x: pipeline = %#x, software = %#x", k, hashes[i], want)
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Clocked enforces the simulated-time discipline on clocked components:
+// a type exposing a Tick or Cycle method advances cycle by cycle under the
+// simulator's clock, so it must never mix in host time. Concretely:
+//
+//   - the component's struct must not hold time.Time or time.Duration state
+//     (cycle counts and the platform clock frequency are the simulated
+//     clock; a Duration field invites wall-clock leakage into the model),
+//   - the tick method must not read the host clock (time.Now and friends),
+//   - the tick method must not spawn goroutines — a tick is one
+//     synchronous clock edge; concurrency inside it makes cycle outcomes
+//     scheduler-dependent.
+type Clocked struct {
+	// Methods are the method names marking a clocked component.
+	Methods map[string]bool
+}
+
+// NewClocked returns the analyzer with the default Tick/Cycle markers.
+func NewClocked() *Clocked {
+	return &Clocked{Methods: map[string]bool{"Tick": true, "Cycle": true}}
+}
+
+func (*Clocked) Name() string { return "clocked-component" }
+
+// Check implements Analyzer.
+func (c *Clocked) Check(pkg *Package) []Finding {
+	var out []Finding
+	reportedType := map[*types.Named]bool{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !c.Methods[fd.Name.Name] {
+				continue
+			}
+			named := receiverNamed(pkg, fd)
+			if named == nil {
+				continue
+			}
+			if !reportedType[named] {
+				reportedType[named] = true
+				out = append(out, c.checkFields(pkg, named, fd)...)
+			}
+			out = append(out, c.checkBody(pkg, named, fd)...)
+		}
+	}
+	return out
+}
+
+// receiverNamed resolves the receiver's named type (through a pointer).
+func receiverNamed(pkg *Package, fd *ast.FuncDecl) *types.Named {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := pkg.Info.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// checkFields flags host-time state in the component's struct.
+func (c *Clocked) checkFields(pkg *Package, named *types.Named, fd *ast.FuncDecl) []Finding {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []Finding
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if holdsHostTime(f.Type(), map[types.Type]bool{}) {
+			out = append(out, pkg.finding(c.Name(), f.Pos(),
+				"clocked component %s (has %s) holds host-time state in field %s (%s) — simulated time is cycle counts at the platform clock, never time.Time/time.Duration",
+				named.Obj().Name(), fd.Name.Name, f.Name(), typeString(f.Type())))
+		}
+	}
+	return out
+}
+
+// holdsHostTime reports whether t contains time.Time or time.Duration.
+func holdsHostTime(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "time" &&
+			(obj.Name() == "Time" || obj.Name() == "Duration") {
+			return true
+		}
+		return holdsHostTime(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if holdsHostTime(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return holdsHostTime(t.Elem(), seen)
+	case *types.Slice:
+		return holdsHostTime(t.Elem(), seen)
+	case *types.Pointer:
+		return holdsHostTime(t.Elem(), seen)
+	}
+	return false
+}
+
+// checkBody flags host-clock reads and goroutine launches inside the tick.
+func (c *Clocked) checkBody(pkg *Package, named *types.Named, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			out = append(out, pkg.finding(c.Name(), n.Pos(),
+				"%s.%s spawns a goroutine inside the tick — a tick is one synchronous clock edge; scheduling would make cycle outcomes nondeterministic",
+				named.Obj().Name(), fd.Name.Name))
+		case *ast.CallExpr:
+			obj := pkg.objectOf(n.Fun)
+			if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && wallClockFuncs[fn.Name()] {
+					out = append(out, pkg.finding(c.Name(), n.Pos(),
+						"%s.%s calls time.%s — a clocked component must never read the host clock; simulated and host time must not mix",
+						named.Obj().Name(), fd.Name.Name, fn.Name()))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism forbids sources of run-to-run nondeterminism in packages on
+// the deterministic path: wall-clock reads, draws from the unseeded global
+// math/rand source, and ranging over maps. PR 1's fault injector replays
+// scenarios as a pure hash of (seed, message identity); one map range in an
+// aggregation loop is enough to silently break that contract — exactly the
+// class of bug Balkesen et al.'s multiset-checksum comparisons cannot catch,
+// because the multiset is order-insensitive while traces and counters are
+// not.
+type Determinism struct {
+	// Paths is the exact set of import paths on the deterministic path.
+	// Packages outside the set are not checked (the CLI and experiments
+	// packages may time and randomize freely).
+	Paths map[string]bool
+}
+
+// DeterministicPathPackages is the project's deterministic path: every
+// package whose outputs must replay bit-for-bit for a fixed seed.
+var DeterministicPathPackages = []string{
+	"fpgapart/internal/core",
+	"fpgapart/internal/fpga",
+	"fpgapart/internal/faults",
+	"fpgapart/internal/rdma",
+	"fpgapart/internal/qpi",
+	"fpgapart/partition",
+	"fpgapart/distjoin",
+}
+
+// DefaultDeterminism returns the analyzer scoped to the project's
+// deterministic-path packages.
+func DefaultDeterminism() *Determinism {
+	paths := make(map[string]bool, len(DeterministicPathPackages))
+	for _, p := range DeterministicPathPackages {
+		paths[p] = true
+	}
+	return &Determinism{Paths: paths}
+}
+
+func (*Determinism) Name() string { return "determinism" }
+
+// wallClockFuncs are the package-level time functions that read or schedule
+// against the host clock. time.Duration arithmetic and constants are fine —
+// simulated time is expressed in time.Duration.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededRandFuncs are the math/rand package-level functions that construct
+// explicitly seeded generators rather than drawing from the global source.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// Check implements Analyzer.
+func (d *Determinism) Check(pkg *Package) []Finding {
+	if !d.Paths[pkg.Path] {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if f := d.checkCall(pkg, n); f != nil {
+					out = append(out, *f)
+				}
+			case *ast.RangeStmt:
+				if t := pkg.Info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						out = append(out, pkg.finding(d.Name(), n.Pos(),
+							"range over map %s: iteration order is randomized per run — collect and sort the keys (or iterate the defining slice) so replays stay byte-identical", typeString(t)))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (d *Determinism) checkCall(pkg *Package, call *ast.CallExpr) *Finding {
+	obj := pkg.objectOf(call.Fun)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		// Methods (e.g. (*rand.Rand).Intn on an explicitly seeded source,
+		// (time.Duration).Seconds) are deterministic.
+		return nil
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			f := pkg.finding(d.Name(), call.Pos(),
+				"time.%s reads the host clock on the deterministic path — simulated time must be derived from cycle counts and the platform clock", fn.Name())
+			return &f
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandFuncs[fn.Name()] {
+			f := pkg.finding(d.Name(), call.Pos(),
+				"rand.%s draws from the global math/rand source on the deterministic path — use a generator seeded from the scenario (rand.New(rand.NewSource(seed))) or a hash of the decision identity", fn.Name())
+			return &f
+		}
+	}
+	return nil
+}
+
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

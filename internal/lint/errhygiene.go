@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// ErrHygiene enforces the project's error-flow contract: errors crossing
+// package boundaries are wrapped with %w (so sentinel comparison works
+// through the chain), sentinels are tested with errors.Is, and error strings
+// are never matched textually. It flags:
+//
+//   - fmt.Errorf formatting an error value with %v/%s/%q instead of %w,
+//   - string matching on err.Error() (strings.Contains and friends, or
+//     direct ==/!= comparison against a literal),
+//   - ==/!= comparison of two error values (use errors.Is; == breaks as
+//     soon as any layer wraps the sentinel).
+type ErrHygiene struct{}
+
+// NewErrHygiene returns the analyzer.
+func NewErrHygiene() *ErrHygiene { return &ErrHygiene{} }
+
+func (*ErrHygiene) Name() string { return "error-hygiene" }
+
+// stringMatchFuncs are the strings-package predicates that textually match
+// error messages.
+var stringMatchFuncs = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true, "Count": true,
+}
+
+// Check implements Analyzer.
+func (e *ErrHygiene) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				out = append(out, e.checkErrorf(pkg, n)...)
+				out = append(out, e.checkStringMatch(pkg, n)...)
+			case *ast.BinaryExpr:
+				out = append(out, e.checkComparison(pkg, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkErrorf flags fmt.Errorf("... %v ...", err).
+func (e *ErrHygiene) checkErrorf(pkg *Package, call *ast.CallExpr) []Finding {
+	obj := pkg.objectOf(call.Fun)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" || obj.Name() != "Errorf" {
+		return nil
+	}
+	if len(call.Args) < 2 {
+		return nil
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return nil
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok || len(verbs) > len(call.Args)-1 {
+		return nil // dynamic width/indexed verbs or vararg slice: skip
+	}
+	var out []Finding
+	for i, verb := range verbs {
+		if verb != 'v' && verb != 's' && verb != 'q' {
+			continue
+		}
+		arg := call.Args[1+i]
+		if implementsError(pkg.Info.TypeOf(arg)) {
+			out = append(out, pkg.finding(e.Name(), arg.Pos(),
+				"error formatted with %%%c — wrap boundary errors with %%w so callers can errors.Is/errors.As through the chain", verb))
+		}
+	}
+	return out
+}
+
+// formatVerbs returns the verb letter for each argument-consuming verb of a
+// format string, in order. ok is false when the format uses dynamic widths
+// (*) or explicit argument indexes ([n]), which this simple scanner does not
+// model.
+func formatVerbs(format string) (verbs []rune, ok bool) {
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision.
+		for i < len(runes) {
+			c := runes[i]
+			if c == '*' || c == '[' {
+				return nil, false
+			}
+			if c == '#' || c == '0' || c == '-' || c == ' ' || c == '+' ||
+				c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, runes[i])
+	}
+	return verbs, true
+}
+
+// errorStringCall reports whether expr is err.Error() on an error value.
+func errorStringCall(pkg *Package, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return implementsError(pkg.Info.TypeOf(sel.X))
+}
+
+// checkStringMatch flags strings.Contains(err.Error(), ...) and friends.
+func (e *ErrHygiene) checkStringMatch(pkg *Package, call *ast.CallExpr) []Finding {
+	obj := pkg.objectOf(call.Fun)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "strings" || !stringMatchFuncs[obj.Name()] {
+		return nil
+	}
+	for _, arg := range call.Args {
+		if errorStringCall(pkg, arg) {
+			f := pkg.finding(e.Name(), call.Pos(),
+				"strings.%s on err.Error() matches error text — compare sentinels with errors.Is (or errors.As for typed errors)", obj.Name())
+			return []Finding{f}
+		}
+	}
+	return nil
+}
+
+// checkComparison flags err.Error() ==/!= ... and err ==/!= sentinel.
+func (e *ErrHygiene) checkComparison(pkg *Package, bin *ast.BinaryExpr) []Finding {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return nil
+	}
+	if errorStringCall(pkg, bin.X) || errorStringCall(pkg, bin.Y) {
+		return []Finding{pkg.finding(e.Name(), bin.Pos(),
+			"comparing err.Error() text — compare sentinels with errors.Is instead of matching message strings")}
+	}
+	if isNil(pkg, bin.X) || isNil(pkg, bin.Y) {
+		return nil
+	}
+	if implementsError(pkg.Info.TypeOf(bin.X)) && implementsError(pkg.Info.TypeOf(bin.Y)) {
+		return []Finding{pkg.finding(e.Name(), bin.Pos(),
+			"comparing error values with %s — use errors.Is so the check survives %%w wrapping", bin.Op)}
+	}
+	return nil
+}
+
+// isNil reports whether expr is the predeclared nil.
+func isNil(pkg *Package, expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pkg.Info.Uses[id] == types.Universe.Lookup("nil")
+}

@@ -1,0 +1,240 @@
+// Package lint is fpgavet's analysis engine: a small, stdlib-only
+// (go/parser + go/ast + go/types) static-analysis framework plus the
+// project's analyzers. The analyzers machine-check the invariants this
+// reproduction depends on but the compiler cannot see:
+//
+//   - determinism — the cycle simulator and the fault-tolerant exchange must
+//     be bit-for-bit reproducible, so packages on the deterministic path may
+//     not read the wall clock, draw from the unseeded global math/rand
+//     source, or range over maps (Go randomizes map iteration order; the
+//     multiset-checksum comparisons in partition/distjoin would still pass
+//     while per-run traces, counters and timings silently diverge).
+//   - panic-boundary — invariant violations inside internal/* panic; the
+//     public partition/distjoin APIs must convert those panics into errors
+//     wrapping ErrSimulatorFault before they cross an exported function.
+//   - error-hygiene — errors crossing package boundaries are wrapped with %w
+//     and tested with errors.Is, never matched as strings.
+//   - clocked-component — types with a Tick/Cycle method live in simulated
+//     time: they must not hold time.Time/time.Duration state, read the host
+//     clock, or spawn goroutines inside a tick.
+//
+// A finding can be suppressed by an explicit escape hatch — a comment of the
+// form
+//
+//	//fpgavet:allow <analyzer>[,<analyzer>...] [reason]
+//
+// (or //fpgavet:allow * for every analyzer) placed on the offending line or
+// on the line directly above it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the finding the way compilers and terminals expect
+// (file:line:col, clickable in most terminal emulators).
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Package is one type-checked package under analysis.
+type Package struct {
+	// Path is the import path (e.g. fpgapart/internal/core). Fixture
+	// packages in tests may carry a synthetic path to opt into path-scoped
+	// analyzers.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one checkable rule set.
+type Analyzer interface {
+	// Name is the analyzer's short identifier, used in output and in
+	// //fpgavet:allow comments.
+	Name() string
+	// Check returns the analyzer's findings for pkg. Implementations do not
+	// apply allow-comment suppression; Run does.
+	Check(pkg *Package) []Finding
+}
+
+// All returns the project's full analyzer set with default configuration.
+func All() []Analyzer {
+	return []Analyzer{
+		DefaultDeterminism(),
+		DefaultPanicBoundary(),
+		NewErrHygiene(),
+		NewClocked(),
+	}
+}
+
+// Run applies every analyzer to every package, drops suppressed findings,
+// and returns the rest sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		allowed := allowTable(pkg)
+		for _, a := range analyzers {
+			for _, f := range a.Check(pkg) {
+				if allowed.allows(f) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// allowMarker is the escape-hatch comment prefix.
+const allowMarker = "fpgavet:allow"
+
+// allows maps filename → line → set of allowed analyzer names ("*" = all).
+type allows map[string]map[int]map[string]bool
+
+func (t allows) allows(f Finding) bool {
+	lines := t[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if set := lines[line]; set != nil && (set["*"] || set[f.Analyzer]) {
+			return true
+		}
+	}
+	return false
+}
+
+// allowTable collects every //fpgavet:allow comment in the package.
+func allowTable(pkg *Package) allows {
+	t := allows{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowMarker) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowMarker))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := t[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					t[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[pos.Line] = set
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name != "" {
+						set[name] = true
+					}
+				}
+			}
+		}
+	}
+	return t
+}
+
+// finding builds a Finding at a node's position.
+func (pkg *Package) finding(analyzer string, pos token.Pos, format string, args ...interface{}) Finding {
+	return Finding{
+		Pos:      pkg.Fset.Position(pos),
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// objectOf resolves the object a call expression's function refers to, for
+// plain identifiers (local calls) and selector expressions (pkg.Func,
+// recv.Method). It returns nil for anonymous functions, conversions to
+// unnamed types, and other unresolvable callees.
+func (pkg *Package) objectOf(fun ast.Expr) types.Object {
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[fn]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[fn.Sel]
+	case *ast.ParenExpr:
+		return pkg.objectOf(fn.X)
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		return pkg.objectOf(fn.X)
+	case *ast.IndexListExpr:
+		return pkg.objectOf(fn.X)
+	}
+	return nil
+}
+
+// calleeFromPackage reports whether a call expression invokes a function or
+// method belonging to a package whose import path satisfies match.
+func (pkg *Package) calleeFromPackage(call *ast.CallExpr, match func(path string) bool) bool {
+	obj := pkg.objectOf(call.Fun)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return false
+	}
+	return match(obj.Pkg().Path())
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t's value satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType)
+}
+
+// isErrorInterface reports whether t is exactly the error interface type.
+func isErrorInterface(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType.Underlying()) ||
+		t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isRecoverCall reports whether call invokes the recover builtin.
+func (pkg *Package) isRecoverCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[id]
+	b, ok := obj.(*types.Builtin)
+	return ok && b.Name() == "recover"
+}

@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader caches one loader (and its type-checked standard library)
+// across all tests; fixture packages get synthetic import paths so they can
+// never collide with real module packages.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := filepath.Abs(filepath.Join("..", ".."))
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("building loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// loadFixture type-checks testdata/src/<dir> under a synthetic import path.
+func loadFixture(t *testing.T, dir string) *Package {
+	t.Helper()
+	l := testLoader(t)
+	file, err := filepath.Abs(filepath.Join("testdata", "src", dir, dir+".go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.CheckFiles("fpgapart/fixture/"+dir, []string{file})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	return pkg
+}
+
+// expectations parses the fixture's `// want a b c` markers into a set of
+// "line analyzer" keys.
+func expectations(t *testing.T, pkg *Package, analyzers map[string]bool) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, name := range strings.Fields(strings.TrimPrefix(text, "want ")) {
+					if analyzers[name] {
+						want[fmt.Sprintf("%d %s", line, name)] = true
+					}
+				}
+			}
+		}
+	}
+	return want
+}
+
+// checkFixture runs the analyzers over the fixture and compares the found
+// (line, analyzer) pairs against the `// want` markers, both directions.
+func checkFixture(t *testing.T, pkg *Package, analyzers []Analyzer) []Finding {
+	t.Helper()
+	names := map[string]bool{}
+	for _, a := range analyzers {
+		names[a.Name()] = true
+	}
+	want := expectations(t, pkg, names)
+	findings := Run([]*Package{pkg}, analyzers)
+
+	got := map[string]bool{}
+	for _, f := range findings {
+		got[fmt.Sprintf("%d %s", f.Pos.Line, f.Analyzer)] = true
+	}
+	for key := range want {
+		if !got[key] {
+			t.Errorf("expected finding at line %s, got none", key)
+		}
+	}
+	for key := range got {
+		if !want[key] {
+			t.Errorf("unexpected finding at line %s", key)
+		}
+	}
+	if t.Failed() {
+		for _, f := range findings {
+			t.Logf("finding: %v", f)
+		}
+	}
+	return findings
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	pkg := loadFixture(t, "determfix")
+	det := &Determinism{Paths: map[string]bool{pkg.Path: true}}
+	findings := checkFixture(t, pkg, []Analyzer{det, NewClocked()})
+
+	// The acceptance-named seeded violations must be among the catches: a
+	// wall-clock read inside a ticked component and an unsorted map range in
+	// a checksum path.
+	assertFinding(t, findings, "determinism", "time.Now")
+	assertFinding(t, findings, "determinism", "range over map")
+	assertFinding(t, findings, "determinism", "rand.")
+	assertFinding(t, findings, "clocked-component", "time.Now")
+}
+
+func TestDeterminismIgnoresOffPathPackages(t *testing.T) {
+	pkg := loadFixture(t, "determfix")
+	det := &Determinism{Paths: map[string]bool{"fpgapart/experiments": true}}
+	if findings := det.Check(pkg); len(findings) != 0 {
+		t.Errorf("off-path package flagged: %v", findings)
+	}
+}
+
+func TestClockedFixture(t *testing.T) {
+	pkg := loadFixture(t, "clockedfix")
+	findings := checkFixture(t, pkg, []Analyzer{NewClocked()})
+	assertFinding(t, findings, "clocked-component", "host-time state")
+	assertFinding(t, findings, "clocked-component", "goroutine")
+	if len(findings) < 2 {
+		t.Fatalf("clocked-component caught %d violations, want ≥ 2", len(findings))
+	}
+}
+
+func TestPanicBoundaryFixture(t *testing.T) {
+	pkg := loadFixture(t, "panicfix")
+	pb := &PanicBoundary{
+		Boundary:       map[string]bool{pkg.Path: true},
+		InternalPrefix: "fpgapart/internal/",
+		Sentinel:       "ErrSimulatorFault",
+	}
+	findings := checkFixture(t, pkg, []Analyzer{pb})
+	assertFinding(t, findings, "panic-boundary", "without a deferred recover guard")
+	assertFinding(t, findings, "panic-boundary", "without wrapping ErrSimulatorFault")
+	if len(findings) < 2 {
+		t.Fatalf("panic-boundary caught %d violations, want ≥ 2", len(findings))
+	}
+}
+
+func TestErrHygieneFixture(t *testing.T) {
+	pkg := loadFixture(t, "errfix")
+	findings := checkFixture(t, pkg, []Analyzer{NewErrHygiene()})
+	assertFinding(t, findings, "error-hygiene", "%w")
+	assertFinding(t, findings, "error-hygiene", "errors.Is")
+	if len(findings) < 2 {
+		t.Fatalf("error-hygiene caught %d violations, want ≥ 2", len(findings))
+	}
+}
+
+func assertFinding(t *testing.T, findings []Finding, analyzer, fragment string) {
+	t.Helper()
+	for _, f := range findings {
+		if f.Analyzer == analyzer && strings.Contains(f.Message, fragment) {
+			return
+		}
+	}
+	t.Errorf("no %s finding mentioning %q", analyzer, fragment)
+}
+
+// TestModuleIsClean is the `make lint` gate as a unit test: the real tree
+// must be violation-free under the full default analyzer set.
+func TestModuleIsClean(t *testing.T) {
+	l := testLoader(t)
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("only %d packages loaded — loader is missing module packages", len(pkgs))
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	sort.Strings(paths)
+	for _, must := range []string{"fpgapart/internal/core", "fpgapart/distjoin", "fpgapart/partition", "fpgapart/internal/lint"} {
+		i := sort.SearchStrings(paths, must)
+		if i >= len(paths) || paths[i] != must {
+			t.Fatalf("package %s not loaded (have %v)", must, paths)
+		}
+	}
+	findings := Run(pkgs, All())
+	for _, f := range findings {
+		t.Errorf("module not lint-clean: %v", f)
+	}
+}
+
+func TestFormatVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		verbs  string
+		ok     bool
+	}{
+		{"plain", "", true},
+		{"%d and %s", "ds", true},
+		{"%w: %v", "wv", true},
+		{"100%% done %q", "q", true},
+		{"%+v %#x %6.2f", "vxf", true},
+		{"%*d", "", false},
+		{"%[1]s", "", false},
+	}
+	for _, c := range cases {
+		verbs, ok := formatVerbs(c.format)
+		if ok != c.ok || string(verbs) != c.verbs {
+			t.Errorf("formatVerbs(%q) = %q, %v; want %q, %v", c.format, string(verbs), ok, c.verbs, c.ok)
+		}
+	}
+}
+
+// TestAllowMarkerParsing covers the escape-hatch table directly.
+func TestAllowMarkerParsing(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //fpgavet:allow determinism reason here
+	//fpgavet:allow error-hygiene,clocked-component
+	_ = 2
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "allow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "p", Fset: fset, Files: []*ast.File{file}}
+	table := allowTable(pkg)
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{4, "determinism", true},
+		{4, "error-hygiene", false},
+		{6, "error-hygiene", true}, // marker on the line above
+		{6, "clocked-component", true},
+		{6, "determinism", false},
+	}
+	for _, c := range cases {
+		f := Finding{Pos: token.Position{Filename: "allow.go", Line: c.line}, Analyzer: c.analyzer}
+		if got := table.allows(f); got != c.want {
+			t.Errorf("line %d %s: allowed=%v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+}

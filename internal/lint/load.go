@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks the packages of one module using only the
+// standard library: module-local imports are resolved from the module
+// directory, everything else (the standard library — the module has no
+// third-party dependencies) through go/importer's source importer.
+type Loader struct {
+	Fset    *token.FileSet
+	ModDir  string
+	ModPath string
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module directory containing
+// go.mod.
+func NewLoader(modDir string) (*Loader, error) {
+	abs, err := filepath.Abs(modDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not support ImporterFrom")
+	}
+	return &Loader{
+		Fset:    fset,
+		ModDir:  abs,
+		ModPath: modPath,
+		std:     std,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading module file: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "module ") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// LoadModule loads every package of the module (skipping testdata, vendor
+// and hidden directories), sorted by import path.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModDir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		has, err := hasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if has {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModPath
+		if rel != "." {
+			path = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range ents {
+		if goSource(e) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func goSource(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+}
+
+// Load type-checks one module-local package by import path (memoized).
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+	dir := filepath.Join(l.ModDir, filepath.FromSlash(rel))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: package %s: %w", path, err)
+	}
+	var filenames []string
+	for _, e := range ents {
+		if goSource(e) {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("lint: package %s has no Go files", path)
+	}
+	return l.CheckFiles(path, filenames)
+}
+
+// CheckFiles parses and type-checks an explicit file list as one package
+// under the given import path. Tests use it to load fixture packages with a
+// synthetic path.
+func (l *Loader) CheckFiles(path string, filenames []string) (*Package, error) {
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", fn, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom, routing module-local paths to
+// the module tree and everything else to the source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

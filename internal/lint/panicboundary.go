@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicBoundary enforces the PR 1 simulator-fault contract: invariant
+// violations inside the simulator internals (internal/*) panic, and the
+// public API packages must convert those panics into errors wrapping the
+// ErrSimulatorFault sentinel before they cross an exported function. An
+// exported, error-returning function of a boundary package that (directly or
+// through package-local helpers) calls into internal/* must therefore defer
+// a recover guard that wraps ErrSimulatorFault — either a function literal
+// containing recover() and the sentinel, or a package-local guard function
+// doing the same (e.g. partition's guardSimulator).
+type PanicBoundary struct {
+	// Boundary is the set of public API packages the contract applies to.
+	Boundary map[string]bool
+	// InternalPrefix marks the panic-capable simulator packages.
+	InternalPrefix string
+	// Sentinel is the name of the wrapping sentinel error.
+	Sentinel string
+}
+
+// DefaultPanicBoundary returns the analyzer for the project's public API
+// surface.
+func DefaultPanicBoundary() *PanicBoundary {
+	return &PanicBoundary{
+		Boundary: map[string]bool{
+			"fpgapart/partition": true,
+			"fpgapart/distjoin":  true,
+		},
+		InternalPrefix: "fpgapart/internal/",
+		Sentinel:       "ErrSimulatorFault",
+	}
+}
+
+func (*PanicBoundary) Name() string { return "panic-boundary" }
+
+// funcFacts is the per-function analysis state.
+type funcFacts struct {
+	decl *ast.FuncDecl
+	// callsInternal: the body directly calls a function or method of an
+	// internal/* package.
+	callsInternal bool
+	// callees are package-local functions the body calls.
+	callees []*types.Func
+	// reachesInternal is callsInternal closed over the local call graph.
+	reachesInternal bool
+	// deferredGuard classifies the function's deferred recover handling.
+	deferredGuard guardState
+}
+
+type guardState int
+
+const (
+	noGuard guardState = iota
+	// recoverNoWrap: a deferred recover exists but never references the
+	// sentinel — it would swallow the simulator fault instead of wrapping it.
+	recoverNoWrap
+	// guarded: a deferred recover wraps the sentinel.
+	guarded
+)
+
+// Check implements Analyzer.
+func (p *PanicBoundary) Check(pkg *Package) []Finding {
+	if !p.Boundary[pkg.Path] {
+		return nil
+	}
+
+	facts := map[*types.Func]*funcFacts{}
+	var order []*types.Func
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			facts[obj] = p.analyzeFunc(pkg, fd, facts)
+			order = append(order, obj)
+		}
+	}
+
+	// guardFuncs: package-local functions whose body both recovers and
+	// references the sentinel (callable as a deferred guard).
+	guardFuncs := map[*types.Func]bool{}
+	for obj, f := range facts {
+		if bodyRecovers(pkg, f.decl.Body) && mentionsName(f.decl.Body, p.Sentinel) {
+			guardFuncs[obj] = true
+		}
+	}
+	// Resolve deferred guards now that guard functions are known.
+	for _, f := range facts {
+		f.deferredGuard = p.guardStateOf(pkg, f.decl, guardFuncs)
+	}
+
+	// Close callsInternal over the package-local call graph.
+	for _, obj := range order {
+		p.propagate(obj, facts, map[*types.Func]bool{})
+	}
+
+	var out []Finding
+	for _, obj := range order {
+		f := facts[obj]
+		if !ast.IsExported(obj.Name()) || !returnsError(obj) || !f.reachesInternal {
+			continue
+		}
+		if guardFuncs[obj] {
+			continue // the guard itself
+		}
+		switch f.deferredGuard {
+		case guarded:
+		case recoverNoWrap:
+			out = append(out, pkg.finding(p.Name(), f.decl.Pos(),
+				"exported %s recovers simulator panics without wrapping %s — callers must be able to errors.Is the fault", obj.Name(), p.Sentinel))
+		default:
+			out = append(out, pkg.finding(p.Name(), f.decl.Pos(),
+				"exported %s reaches the simulator internals (%s*) without a deferred recover guard wrapping %s — a simulator invariant panic would escape the public API", obj.Name(), p.InternalPrefix, p.Sentinel))
+		}
+	}
+	return out
+}
+
+func (p *PanicBoundary) propagate(obj *types.Func, facts map[*types.Func]*funcFacts, seen map[*types.Func]bool) bool {
+	f, ok := facts[obj]
+	if !ok {
+		return false
+	}
+	if f.reachesInternal || f.callsInternal {
+		f.reachesInternal = true
+		return true
+	}
+	if seen[obj] {
+		return false
+	}
+	seen[obj] = true
+	for _, callee := range f.callees {
+		if p.propagate(callee, facts, seen) {
+			f.reachesInternal = true
+			return true
+		}
+	}
+	return false
+}
+
+func (p *PanicBoundary) analyzeFunc(pkg *Package, fd *ast.FuncDecl, _ map[*types.Func]*funcFacts) *funcFacts {
+	f := &funcFacts{decl: fd}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := pkg.objectOf(call.Fun)
+		fn, isFunc := obj.(*types.Func)
+		if !isFunc || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case strings.HasPrefix(fn.Pkg().Path(), p.InternalPrefix):
+			f.callsInternal = true
+		case fn.Pkg() == pkg.Types:
+			f.callees = append(f.callees, fn)
+		}
+		return true
+	})
+	return f
+}
+
+// guardStateOf classifies the function's deferred recover handling. Only
+// defers in the function's own body count — a defer inside a nested function
+// literal does not protect the enclosing function.
+func (p *PanicBoundary) guardStateOf(pkg *Package, fd *ast.FuncDecl, guardFuncs map[*types.Func]bool) guardState {
+	state := noGuard
+	walkOwnStatements(fd.Body, func(n ast.Node) {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return
+		}
+		switch fn := ds.Call.Fun.(type) {
+		case *ast.FuncLit:
+			if bodyRecovers(pkg, fn.Body) {
+				if mentionsName(fn.Body, p.Sentinel) {
+					state = guarded
+				} else if state == noGuard {
+					state = recoverNoWrap
+				}
+			}
+		default:
+			if obj, ok := pkg.objectOf(ds.Call.Fun).(*types.Func); ok && guardFuncs[obj] {
+				state = guarded
+			}
+		}
+	})
+	return state
+}
+
+// walkOwnStatements visits the nodes of body without descending into nested
+// function literals.
+func walkOwnStatements(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			visit(n)
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// bodyRecovers reports whether body contains a call to the recover builtin.
+func bodyRecovers(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && pkg.isRecoverCall(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsName reports whether body contains an identifier with the given
+// name (the sentinel may be package-local or a re-export, so matching by
+// name is the robust check).
+func mentionsName(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// returnsError reports whether the function's results include the error
+// interface.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorInterface(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+// Package clockedfix is a known-bad fixture for the clocked-component
+// analyzer: types with a Tick/Cycle method must not hold host-time state,
+// read the host clock, or spawn goroutines inside the tick.
+package clockedfix
+
+import "time"
+
+// BadClock mixes host time into a clocked component in every way the
+// analyzer forbids.
+type BadClock struct {
+	Last    time.Time     // want clocked-component
+	Timeout time.Duration // want clocked-component
+	Cycles  int64
+}
+
+// Tick reads the wall clock and spawns a goroutine on the clock edge.
+func (b *BadClock) Tick() {
+	b.Last = time.Now() // want clocked-component
+	go func() {         // want clocked-component
+		b.Cycles++
+	}()
+}
+
+// SneakyTimer hides the Duration inside a nested struct.
+type SneakyTimer struct {
+	state struct { // want clocked-component
+		deadline time.Duration
+	}
+	Cycles int64
+}
+
+// Cycle is the alternate marker method name.
+func (s *SneakyTimer) Cycle() {
+	s.Cycles++
+}
+
+// GoodClock is a compliant clocked component: simulated time only.
+type GoodClock struct {
+	Cycles  int64
+	Tokens  float64
+	PerCyc  float64
+	clockHz float64
+}
+
+// Tick accrues token budget, like the QPI end-point.
+func (g *GoodClock) Tick() {
+	g.Cycles++
+	g.Tokens += g.PerCyc
+}
+
+// Elapsed converts cycle counts for reporting — fine outside the tick.
+func (g *GoodClock) Elapsed() time.Duration {
+	return time.Duration(float64(g.Cycles) / g.clockHz * float64(time.Second))
+}

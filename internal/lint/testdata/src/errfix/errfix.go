@@ -1,0 +1,63 @@
+// Package errfix is a known-bad fixture for the error-hygiene analyzer:
+// errors crossing package boundaries must be wrapped with %w and tested
+// with errors.Is, never matched as strings or compared with ==.
+package errfix
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrBudget is a sentinel error.
+var ErrBudget = errors.New("errfix: retry budget exhausted")
+
+// Wrap formats the error with %v, which severs the chain for errors.Is.
+func Wrap(err error) error {
+	return fmt.Errorf("exchange failed: %v", err) // want error-hygiene
+}
+
+// Describe loses the chain through %s just the same.
+func Describe(node int, err error) error {
+	return fmt.Errorf("node %d: %s", node, err) // want error-hygiene
+}
+
+// WrapOK preserves the chain.
+func WrapOK(err error) error {
+	return fmt.Errorf("exchange failed: %w", err)
+}
+
+// Matches greps the error text.
+func Matches(err error) bool {
+	return strings.Contains(err.Error(), "budget") // want error-hygiene
+}
+
+// TextEqual compares the rendered message.
+func TextEqual(err error) bool {
+	return err.Error() == "errfix: retry budget exhausted" // want error-hygiene
+}
+
+// SentinelCompare uses ==, which breaks as soon as any layer wraps.
+func SentinelCompare(err error) bool {
+	return err == ErrBudget // want error-hygiene
+}
+
+// SentinelOK survives wrapping.
+func SentinelOK(err error) bool {
+	return errors.Is(err, ErrBudget)
+}
+
+// NilChecksOK: comparing against nil is not sentinel comparison.
+func NilChecksOK(err error) bool {
+	return err == nil || err != nil
+}
+
+// RecoveredOK: %v on a recovered interface{} value is not an error value.
+func RecoveredOK() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovered: %v", r)
+		}
+	}()
+	return nil
+}

@@ -1,0 +1,80 @@
+// Package panicfix is a known-bad fixture for the panic-boundary analyzer.
+// It plays the role of a public API package sitting on top of the simulator
+// internals (it really imports fpgapart/internal/fpga, whose constructors
+// panic on invariant violations); the tests configure the analyzer with this
+// package as the boundary.
+package panicfix
+
+import (
+	"errors"
+	"fmt"
+
+	"fpgapart/internal/fpga"
+)
+
+// ErrSimulatorFault mirrors the partition package's sentinel.
+var ErrSimulatorFault = errors.New("panicfix: simulator invariant fault")
+
+// Unguarded reaches the simulator internals with no recover at all: a BRAM
+// invariant panic would escape the exported API.
+func Unguarded(words int) (*fpga.BRAM[uint64], error) { // want panic-boundary
+	return fpga.NewBRAM[uint64](words), nil
+}
+
+// Swallows recovers but converts the panic into a bare error without the
+// sentinel, so errors.Is(err, ErrSimulatorFault) can never see it.
+func Swallows(words int) (b *fpga.BRAM[uint64], err error) { // want panic-boundary
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("bram blew up: %v", r)
+		}
+	}()
+	return fpga.NewBRAM[uint64](words), nil
+}
+
+// Indirect reaches the internals only through an unexported helper — the
+// contract still applies across the package-local call chain.
+func Indirect(words int) (int, error) { // want panic-boundary
+	return capacity(words), nil
+}
+
+func capacity(words int) int {
+	return fpga.NewBRAM[uint64](words).Words()
+}
+
+// Guarded converts simulator panics at the boundary, inline.
+func Guarded(words int) (b *fpga.BRAM[uint64], err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrSimulatorFault, r)
+		}
+	}()
+	return fpga.NewBRAM[uint64](words), nil
+}
+
+// GuardedByHelper defers a named guard function, like partition's
+// guardSimulator.
+func GuardedByHelper(words int) (b *fpga.BRAM[uint64], err error) {
+	defer guard(&err)
+	return fpga.NewBRAM[uint64](words), nil
+}
+
+func guard(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: %v", ErrSimulatorFault, r)
+	}
+}
+
+// Capacity reaches the internals but returns no error — accessors outside
+// the error-returning contract are not flagged.
+func Capacity(words int) int {
+	return fpga.NewBRAM[uint64](words).Words()
+}
+
+// PureValidation never touches the internals and needs no guard.
+func PureValidation(words int) error {
+	if words <= 0 {
+		return fmt.Errorf("panicfix: %d words", words)
+	}
+	return nil
+}

@@ -9,7 +9,6 @@ package rdma
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"fpgapart/internal/faults"
 )
@@ -340,10 +339,14 @@ func (f *Fabric) ExchangePieces(pieces []Piece, ef ExchangeFaults) (*ExchangeSta
 		}
 	}
 
-	for n := range failed {
-		stats.FailedNodes = append(stats.FailedNodes, n)
+	// Scan node ids in order rather than ranging over the failed map: map
+	// iteration order is randomized per run and FailedNodes feeds directly
+	// into the caller's recovery bookkeeping.
+	for n := 0; n < f.Nodes; n++ {
+		if failed[n] {
+			stats.FailedNodes = append(stats.FailedNodes, n)
+		}
 	}
-	sort.Ints(stats.FailedNodes)
 
 	var worst float64
 	for n := 0; n < f.Nodes; n++ {

@@ -15,7 +15,8 @@ import (
 // The options must select ColumnStore layout (output tuples are <key, VRID>,
 // as in plain VRID mode); PAD overflow has no CPU fallback here — compressed
 // skewed columns should use HistMode.
-func FPGACompressed(opts FPGAOptions, col *codec.RLEColumn) (*Result, error) {
+func FPGACompressed(opts FPGAOptions, col *codec.RLEColumn) (result *Result, err error) {
+	defer guardSimulator(&err)
 	if opts.TupleWidth == 0 {
 		opts.TupleWidth = 8
 	}

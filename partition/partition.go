@@ -297,8 +297,11 @@ type fpgaPartitioner struct {
 	circuit *core.Circuit
 }
 
-// NewFPGA returns the simulated FPGA partitioner.
-func NewFPGA(opts FPGAOptions) (Partitioner, error) {
+// NewFPGA returns the simulated FPGA partitioner. Like Partition, it guards
+// the circuit-construction path: an invariant panic inside the simulator
+// internals surfaces as an error wrapping ErrSimulatorFault.
+func NewFPGA(opts FPGAOptions) (p Partitioner, err error) {
+	defer guardSimulator(&err)
 	if opts.TupleWidth == 0 {
 		opts.TupleWidth = 8
 	}
