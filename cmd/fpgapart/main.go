@@ -7,6 +7,7 @@
 //	fpgapart -backend fpga -n 1048576 -partitions 8192 -format pad
 //	fpgapart -backend fpga -layout vrid -dist grid -hash=false
 //	fpgapart -backend cpu -threads 8 -n 8388608
+//	fpgapart -backend fpga -trace trace.json -metrics
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"fpgapart/internal/simtrace"
 	"fpgapart/partition"
 	"fpgapart/platform"
 	"fpgapart/workload"
@@ -35,8 +37,18 @@ func main() {
 		raw        = flag.Bool("raw", false, "use the 25.6 GB/s raw wrapper platform")
 		interfered = flag.Bool("interfered", false, "use the interfered bandwidth curve")
 		seed       = flag.Int64("seed", 1, "generator seed")
+		traceFile  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (fpga backend)")
+		metrics    = flag.Bool("metrics", false, "print the simtrace metrics summary after the run (fpga backend)")
 	)
 	flag.Parse()
+
+	var sess *simtrace.Session
+	if *traceFile != "" || *metrics {
+		if *backend != "fpga" {
+			fatal(fmt.Errorf("-trace/-metrics require -backend fpga (the cycle-level simulator)"))
+		}
+		sess = simtrace.NewSession()
+	}
 
 	rel, err := generate(*dist, *zipf, *width, *n, *seed)
 	if err != nil {
@@ -56,6 +68,7 @@ func main() {
 			Hash:        *hash,
 			PadFraction: *pad,
 			Interfered:  *interfered,
+			Trace:       sess,
 		}
 		if *format == "hist" {
 			opts.Format = partition.HistMode
@@ -112,6 +125,30 @@ func main() {
 	}
 	mean := float64(res.TotalTuples()) / float64(res.NumPartitions())
 	fmt.Printf("partition size: min %d, mean %.1f, max %d (imbalance %.2fx)\n", min, mean, max, float64(max)/mean)
+
+	if *metrics {
+		fmt.Println()
+		fmt.Print(sess.Summary())
+	}
+	if *traceFile != "" {
+		if err := writeTrace(sess, *traceFile); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:         %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceFile)
+	}
+}
+
+// writeTrace dumps the session's event ring as Chrome trace-event JSON.
+func writeTrace(sess *simtrace.Session, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := sess.Tracer.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func generate(dist string, zipf float64, width, n int, seed int64) (*workload.Relation, error) {

@@ -22,6 +22,7 @@ import (
 	"fpgapart/distjoin"
 	"fpgapart/hashjoin"
 	"fpgapart/internal/faults"
+	"fpgapart/internal/simtrace"
 	"fpgapart/partition"
 	"fpgapart/workload"
 )
@@ -38,6 +39,9 @@ func main() {
 		vrid    = flag.Bool("vrid", false, "hybrid column-store (VRID) mode")
 		zipf    = flag.Float64("zipf", 0, "skew S with this Zipf factor (>0)")
 		seed    = flag.Int64("seed", 42, "generator seed")
+
+		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON to this file (hybrid or -nodes runs)")
+		metrics   = flag.Bool("metrics", false, "print the simtrace metrics summary after the run (hybrid or -nodes runs)")
 
 		nodes = flag.Int("nodes", 0, "run the distributed join on this many simulated nodes (0 = local join)")
 
@@ -70,20 +74,31 @@ func main() {
 	fmt.Printf("workload %s: R %d ⋈ S %d tuples, %s keys\n",
 		spec.ID, spec.TuplesR, spec.TuplesS, spec.Distribution)
 
+	var sess *simtrace.Session
+	if *traceFile != "" || *metrics {
+		sess = simtrace.NewSession()
+	}
+
 	if *nodes > 0 {
 		scenario, err := buildScenario(*faultSeed, *faultDrop, *faultCorrupt, *faultDelayProb,
 			*faultDelayUS, *faultCrash, *faultCrashAfter, *faultDegrade, *faultStraggle)
 		if err != nil {
 			fatal(err)
 		}
-		runDistributed(in, *nodes, *parts, *threads, *system, *format, scenario)
+		runDistributed(in, *nodes, *parts, *threads, *system, *format, scenario, sess)
+		finishTrace(sess, *traceFile, *metrics)
 		return
+	}
+
+	if sess != nil && *system != "hybrid" {
+		fatal(fmt.Errorf("-trace/-metrics require -system hybrid (the simulated FPGA partitioner) or -nodes"))
 	}
 
 	opts := hashjoin.Options{
 		Partitions: *parts,
 		Threads:    *threads,
 		Hash:       *hash,
+		Trace:      sess,
 	}
 	var res *hashjoin.Result
 	switch *system {
@@ -101,7 +116,7 @@ func main() {
 			p, perr := partition.NewFPGA(partition.FPGAOptions{
 				Partitions: *parts, Hash: *hash, Format: opts.Format,
 				Layout: partition.ColumnStore, PadFraction: opts.PadFraction,
-				FallbackThreads: *threads,
+				FallbackThreads: *threads, Trace: sess,
 			})
 			if perr != nil {
 				fatal(perr)
@@ -133,6 +148,34 @@ func main() {
 	if res.FellBack {
 		fmt.Println("note:          PAD overflow — partitioning fell back to the CPU")
 	}
+	finishTrace(sess, *traceFile, *metrics)
+}
+
+// finishTrace prints the metrics summary and/or writes the Chrome trace file
+// once the run has completed; a nil session is a no-op.
+func finishTrace(sess *simtrace.Session, traceFile string, metrics bool) {
+	if sess == nil {
+		return
+	}
+	if metrics {
+		fmt.Println()
+		fmt.Print(sess.Summary())
+	}
+	if traceFile == "" {
+		return
+	}
+	f, err := os.Create(traceFile)
+	if err != nil {
+		fatal(fmt.Errorf("writing trace: %w", err))
+	}
+	if err := sess.Tracer.WriteJSON(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(fmt.Errorf("writing trace: %w", err))
+	}
+	fmt.Printf("trace:         %s (open in chrome://tracing or ui.perfetto.dev)\n", traceFile)
 }
 
 // buildScenario assembles the fault scenario from the CLI flags; it returns
@@ -186,12 +229,14 @@ func splitFloats(spec string, n int, format string) ([]float64, error) {
 	return out, nil
 }
 
-func runDistributed(in *workload.JoinInput, nodes, parts, threads int, system, format string, scenario *faults.Scenario) {
+func runDistributed(in *workload.JoinInput, nodes, parts, threads int, system, format string,
+	scenario *faults.Scenario, sess *simtrace.Session) {
 	opts := distjoin.Options{
 		Nodes:             nodes,
 		PartitionsPerNode: parts / nodes,
 		Threads:           threads,
 		Faults:            scenario,
+		Trace:             sess,
 	}
 	if system == "hybrid" {
 		opts.UseFPGA = true

@@ -1,0 +1,39 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzRLERoundTrip checks that compress → validate → decompress is the
+// identity on arbitrary key columns (the fuzzer's bytes reinterpreted as
+// little-endian uint32 keys, trailing remainder dropped).
+func FuzzRLERoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{7, 0, 0, 42}, 64))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys := make([]uint32, len(data)/4)
+		for i := range keys {
+			keys[i] = binary.LittleEndian.Uint32(data[i*4:])
+		}
+		c := CompressRLE(keys)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("compressed column invalid: %v", err)
+		}
+		if c.N != len(keys) {
+			t.Fatalf("N = %d, want %d", c.N, len(keys))
+		}
+		got := c.Decompress()
+		if len(got) != len(keys) {
+			t.Fatalf("decompressed %d values, want %d", len(got), len(keys))
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				t.Fatalf("value %d: got %d, want %d", i, got[i], keys[i])
+			}
+		}
+	})
+}

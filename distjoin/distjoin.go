@@ -29,6 +29,7 @@ import (
 	"fpgapart/internal/hashutil"
 	"fpgapart/internal/joincore"
 	"fpgapart/internal/rdma"
+	"fpgapart/internal/simtrace"
 	"fpgapart/partition"
 	"fpgapart/platform"
 	"fpgapart/workload"
@@ -67,6 +68,14 @@ type Options struct {
 	// Retry tunes the fault-aware exchange's timeout/retransmission policy
 	// (zero value = rdma defaults). Only consulted when Faults is set.
 	Retry rdma.RetryPolicy
+	// Trace attaches a simtrace session: the join emits per-node and
+	// cluster-level phase spans (partition / exchange / local join, one
+	// trace microsecond per simulated microsecond) into Trace.Tracer and
+	// exchange-level counters into Trace.Metrics, echoed on Result.Trace.
+	// Nil disables tracing. Note the timeline unit differs from circuit
+	// sessions (which stamp FPGA cycles) — use separate sessions for the
+	// two levels.
+	Trace *simtrace.Session
 }
 
 func (o Options) withDefaults() Options {
@@ -188,6 +197,10 @@ type Result struct {
 	// Degraded reports that the join completed despite node failures, with
 	// surviving nodes covering the crashed nodes' partitions.
 	Degraded bool
+
+	// Trace echoes Options.Trace after the run (nil when tracing was
+	// disabled); Trace.Summary() renders the recorded metrics.
+	Trace *simtrace.Session
 }
 
 // Join executes the distributed join of r ⋈ s under opts. Invariant panics
@@ -231,6 +244,14 @@ func join(r, s *workload.Relation, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	// Per-node phase durations are recorded only when tracing, for the
+	// per-node timeline spans.
+	var nodePart, nodeJoin []time.Duration
+	if opts.Trace != nil {
+		nodePart = make([]time.Duration, opts.Nodes)
+		nodeJoin = make([]time.Duration, opts.Nodes)
+	}
+
 	// Phase 1: every node partitions its shards to the global fan-out.
 	rParts := make([]*partition.Result, opts.Nodes)
 	sParts := make([]*partition.Result, opts.Nodes)
@@ -245,7 +266,11 @@ func join(r, s *workload.Relation, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("distjoin: node %d partitioning S: %w", n, err)
 		}
 		rParts[n], sParts[n] = pr, ps
-		if t := time.Duration(float64(pr.Elapsed()+ps.Elapsed()) * straggle(n)); t > slowest {
+		t := time.Duration(float64(pr.Elapsed()+ps.Elapsed()) * straggle(n))
+		if nodePart != nil {
+			nodePart[n] = t
+		}
+		if t > slowest {
 			slowest = t
 		}
 	}
@@ -289,6 +314,9 @@ func join(r, s *workload.Relation, opts Options) (*Result, error) {
 		matches += bp.Matches
 		checksum += bp.Checksum
 		t := time.Duration(float64(bp.Elapsed) * penalty * straggle(n))
+		if nodeJoin != nil {
+			nodeJoin[n] = t
+		}
 		if t > slowestJoin {
 			slowestJoin = t
 		}
@@ -310,6 +338,10 @@ func join(r, s *workload.Relation, opts Options) (*Result, error) {
 		Degraded:       ex.degraded,
 	}
 	res.Total = res.PartitionTime + res.ExchangeTime + res.JoinTime
+	if opts.Trace != nil {
+		res.Trace = opts.Trace
+		emitTrace(opts.Trace, res, nodePart, nodeJoin)
+	}
 	return res, nil
 }
 

@@ -1,0 +1,37 @@
+// Smoke tests for the runnable examples: each one must build, exit zero and
+// print something. They execute via `go run` exactly as the README tells
+// users to, so a broken example fails CI instead of a reader's first try.
+package examples_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run full simulations; skipped with -short")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := e.Name()
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./"+dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./%s: %v\n%s", dir, err, out)
+			}
+			if len(bytes.TrimSpace(out)) == 0 {
+				t.Errorf("go run ./%s produced no output", dir)
+			}
+		})
+	}
+}

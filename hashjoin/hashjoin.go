@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"fpgapart/internal/joincore"
+	"fpgapart/internal/simtrace"
 	"fpgapart/partition"
 	"fpgapart/platform"
 	"fpgapart/workload"
@@ -37,6 +38,10 @@ type Options struct {
 	Layout partition.Layout
 	// PadFraction is the PAD-mode headroom of the FPGA partitioner.
 	PadFraction float64
+	// Trace attaches a simtrace session to the FPGA partitioner in Hybrid
+	// joins (cycle-level counters, phase spans, windowed samples); nil
+	// disables tracing. CPU and NonPartitioned joins ignore it.
+	Trace *simtrace.Session
 }
 
 func (o Options) withDefaults() Options {
@@ -149,6 +154,7 @@ func Hybrid(r, s *workload.Relation, opts Options) (*Result, error) {
 		PadFraction:     opts.PadFraction,
 		Platform:        opts.Platform,
 		FallbackThreads: opts.Threads,
+		Trace:           opts.Trace,
 	})
 	if err != nil {
 		return nil, err

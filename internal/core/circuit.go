@@ -96,6 +96,9 @@ func (c *Circuit) Partition(rel *workload.Relation) (*Output, *Stats, error) {
 	}
 	err = r.execute()
 	r.finishStats()
+	if r.pr != nil {
+		r.pr.finish(r)
+	}
 	if err != nil {
 		return nil, r.stats, err
 	}
@@ -109,6 +112,7 @@ type run struct {
 	ep    *qpi.Endpoint
 	clock float64
 	stats *Stats
+	pr    *probe // nil unless cfg.Trace is set
 
 	lanes int // tuples per internal cycle
 	wpt   int // output words per tuple
@@ -179,6 +183,9 @@ func (r *run) setup() error {
 	r.used = make([]int64, p)
 	r.counts = make([]int64, p)
 	r.hist = make([]int64, p)
+	if cfg.Trace != nil {
+		r.pr = newProbe(cfg.Trace, r)
+	}
 	return nil
 }
 
@@ -246,6 +253,9 @@ func (r *run) histogramPass() {
 			}
 		}
 		r.stats.Cycles++
+		if r.pr != nil {
+			r.pr.maybeSample(r)
+		}
 		if r.next >= r.total && r.pipe.Drained() {
 			break
 		}
@@ -445,6 +455,9 @@ func (r *run) partitionPass() error {
 			cb.step(r.fifo1[i], r.stats, r.cfg)
 		}
 		in, ok := r.nextGroup(true)
+		if !ok {
+			r.stats.HashPipelineBubbles++
+		}
 		out, outOK := r.pipe.Shift(in, ok)
 		if outOK {
 			for i := 0; i < out.n; i++ {
@@ -455,6 +468,9 @@ func (r *run) partitionPass() error {
 			}
 		}
 		r.stats.Cycles++
+		if r.pr != nil {
+			r.pr.maybeSample(r)
+		}
 		if r.drainedExceptBanks() {
 			break
 		}
@@ -493,11 +509,14 @@ func (r *run) flushPass() error {
 		}
 		scansDone := true
 		for _, cb := range r.comb {
-			if !cb.flushStep() {
+			if !cb.flushStep(r.stats) {
 				scansDone = false
 			}
 		}
 		r.stats.Cycles++
+		if r.pr != nil {
+			r.pr.maybeSample(r)
+		}
 		if scansDone && r.final.Empty() && r.combOutsEmpty() {
 			break
 		}

@@ -82,7 +82,11 @@ func (cb *combiner) step(in *fpga.FIFO[tup], st *Stats, cfg Config) {
 		return
 	}
 	if hazard {
+		// The fill rate comes from a forwarding register; the issued BRAM
+		// read is discarded, so it does not occupy the read port.
 		st.ForwardedHazards++
+	} else if !cfg.DisableWriteCombiner {
+		st.CombinerBRAMReads++ // fill-rate BRAM read
 	}
 	cb.served = false
 	in.Pop()
@@ -102,8 +106,10 @@ func (cb *combiner) step(in *fpga.FIFO[tup], st *Stats, cfg Config) {
 
 	f := int(cb.fill[h])
 	copy(cb.store[(f*cb.parts+int(h))*cb.wpt:], t.words[:cb.wpt])
+	st.CombinerBRAMWrites += 2 // bank write + fill-rate update
 	if f == cb.banks-1 {
 		cb.fill[h] = 0
+		st.CombinerBRAMReads += int64(cb.banks) // bank reads for line assembly
 		cb.out.Push(cb.assemble(h, cb.banks))
 	} else {
 		cb.fill[h] = uint8(f + 1)
@@ -147,19 +153,23 @@ func (cb *combiner) idle() bool {
 // flushStep advances the end-of-run flush by one cycle: it inspects one
 // partition address per cycle, emitting a padded partial line if the
 // address holds leftover tuples. It reports whether the scan has finished.
-func (cb *combiner) flushStep() bool {
+func (cb *combiner) flushStep(st *Stats) bool {
 	if cb.flushAddr >= cb.parts {
 		return true
 	}
 	f := int(cb.fill[cb.flushAddr])
+	st.CombinerBRAMReads++ // fill-rate scan read
 	if f == 0 {
 		cb.flushAddr++
 		return cb.flushAddr >= cb.parts
 	}
 	if !cb.out.CanPush() {
-		return false // wait for the write-back to drain
+		st.CombinerBRAMReads-- // stalled: the scan re-reads next cycle
+		return false           // wait for the write-back to drain
 	}
 	cb.fill[cb.flushAddr] = 0
+	st.CombinerBRAMWrites++          // fill-rate reset
+	st.CombinerBRAMReads += int64(f) // bank reads for the partial line
 	cb.out.Push(cb.assemble(uint32(cb.flushAddr), f))
 	cb.flushAddr++
 	return cb.flushAddr >= cb.parts

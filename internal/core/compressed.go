@@ -41,6 +41,9 @@ func (c *Circuit) PartitionCompressed(col *codec.RLEColumn) (*Output, *Stats, er
 	}
 	err = r.execute()
 	r.finishStats()
+	if r.pr != nil {
+		r.pr.finish(r)
+	}
 	if err != nil {
 		return nil, r.stats, err
 	}

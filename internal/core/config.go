@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"fpgapart/internal/hashutil"
+	"fpgapart/internal/simtrace"
 	"fpgapart/workload"
 )
 
@@ -126,6 +127,14 @@ type Config struct {
 	// memory traffic 16×. Ablation only — output is still produced via the
 	// combiner datapath, but the QPI accounting charges the naive traffic.
 	DisableWriteCombiner bool
+
+	// Trace attaches a simtrace session: the run reports its counters and
+	// gauges into Trace.Metrics, and emits phase spans plus windowed
+	// counter samples (every Trace.Window() cycles) into Trace.Tracer.
+	// Successive runs on the same circuit accumulate into the session and
+	// lay out sequentially on its timeline. Nil disables all tracing; the
+	// per-cycle cost is then a single nil check and zero allocations.
+	Trace *simtrace.Session
 }
 
 // DummyKeyValue returns the configured dummy key.

@@ -177,7 +177,7 @@ func TestCombinerUnitFlushPadsWithDummies(t *testing.T) {
 	in.Push(tup{words: [8]uint64{123<<32 | 3}, part: 3})
 	cb.step(in, stats, cfg)
 	// Scan all four addresses.
-	for !cb.flushStep() {
+	for !cb.flushStep(stats) {
 	}
 	if cb.out.Len() != 1 {
 		t.Fatalf("flush emitted %d lines, want 1", cb.out.Len())
@@ -195,7 +195,7 @@ func TestCombinerUnitFlushPadsWithDummies(t *testing.T) {
 		}
 	}
 	// Further flush steps stay done and emit nothing.
-	if !cb.flushStep() || !cb.out.Empty() {
+	if !cb.flushStep(stats) || !cb.out.Empty() {
 		t.Error("flush not idempotent")
 	}
 }

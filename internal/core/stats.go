@@ -42,6 +42,20 @@ type Stats struct {
 	// PageTranslations counts FPGA-side virtual-to-physical translations.
 	PageTranslations int64
 
+	// HashPipelineBubbles counts partition-pass cycles in which the input
+	// stage fed no lane group into the hash pipelines — a bubble traveling
+	// down the five stages. Bubbles come from QPI read back-pressure, the
+	// FIFO back-pressure rule of Section 4.3, or the end-of-input drain.
+	HashPipelineBubbles int64
+
+	// CombinerBRAMReads/Writes count the write combiners' aggregate BRAM
+	// port traffic: fill-rate BRAM reads (skipped when a forwarding
+	// register supplies the value) and bank reads during line assembly, vs
+	// fill-rate updates and bank writes per accepted tuple. Together with
+	// Cycles they give the per-port utilization of Section 4.2's BRAMs.
+	CombinerBRAMReads  int64
+	CombinerBRAMWrites int64
+
 	// MaxStage1FIFO is the high-water occupancy across lane FIFOs.
 	MaxStage1FIFO int
 

@@ -1,6 +1,10 @@
 package fpga
 
-import "fmt"
+import (
+	"fmt"
+
+	"fpgapart/internal/simtrace"
+)
 
 // BRAM models a synchronous block RAM: a read issued in cycle t delivers its
 // data in cycle t+1, and the RAM accepts one read and one write per cycle
@@ -17,6 +21,15 @@ type BRAM[T any] struct {
 
 	// Statistics for resource accounting and invariant tests.
 	Reads, Writes int64
+
+	// Optional simtrace port counters (nil-receiver no-ops by default).
+	readCtr, writeCtr *simtrace.Counter
+}
+
+// Instrument attaches simtrace counters to the BRAM's read and write ports.
+// Either may be nil to leave that port uncounted.
+func (b *BRAM[T]) Instrument(reads, writes *simtrace.Counter) {
+	b.readCtr, b.writeCtr = reads, writes
 }
 
 // NewBRAM returns a BRAM with the given number of words.
@@ -36,6 +49,7 @@ func (b *BRAM[T]) IssueRead(addr int) {
 	b.pendingData = b.data[addr]
 	b.pendingValid = true
 	b.Reads++
+	b.readCtr.Inc()
 }
 
 // Tick advances the RAM one clock cycle, committing the pending read into
@@ -59,6 +73,7 @@ func (b *BRAM[T]) ReadData() T {
 func (b *BRAM[T]) Write(addr int, v T) {
 	b.data[addr] = v
 	b.Writes++
+	b.writeCtr.Inc()
 }
 
 // Peek returns the current contents of addr without modeling latency; used

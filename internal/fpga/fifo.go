@@ -6,7 +6,11 @@
 // and BRAM-backed state with explicit hazard forwarding.
 package fpga
 
-import "fmt"
+import (
+	"fmt"
+
+	"fpgapart/internal/simtrace"
+)
 
 // FIFO is a bounded first-in first-out queue. A full FIFO exerts
 // back-pressure: CanPush reports false and the producer stage must stall.
@@ -19,7 +23,18 @@ type FIFO[T any] struct {
 	// HighWater records the maximum occupancy ever reached, for the
 	// no-overflow invariant checks in tests.
 	HighWater int
+
+	// occ, when instrumented, observes the occupancy after every push —
+	// several FIFOs may share one gauge, whose high-water mark then spans
+	// them all (e.g. the lane FIFOs of the partitioner). Nil by default;
+	// simtrace gauges are nil-receiver no-ops, so the uninstrumented path
+	// costs one predictable branch.
+	occ *simtrace.Gauge
 }
+
+// Instrument attaches a simtrace occupancy gauge to the FIFO. Passing nil
+// detaches it.
+func (f *FIFO[T]) Instrument(occ *simtrace.Gauge) { f.occ = occ }
 
 // NewFIFO returns a FIFO with the given capacity.
 func NewFIFO[T any](capacity int) *FIFO[T] {
@@ -55,6 +70,7 @@ func (f *FIFO[T]) Push(v T) {
 	if f.size > f.HighWater {
 		f.HighWater = f.size
 	}
+	f.occ.Observe(int64(f.size))
 }
 
 // Front returns the oldest element without removing it.

@@ -28,6 +28,7 @@ var DeterministicPathPackages = []string{
 	"fpgapart/internal/faults",
 	"fpgapart/internal/rdma",
 	"fpgapart/internal/qpi",
+	"fpgapart/internal/simtrace",
 	"fpgapart/partition",
 	"fpgapart/distjoin",
 }

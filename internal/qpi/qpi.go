@@ -15,6 +15,7 @@ package qpi
 import (
 	"fmt"
 
+	"fpgapart/internal/simtrace"
 	"fpgapart/platform"
 )
 
@@ -41,6 +42,16 @@ type Endpoint struct {
 	LinesWritten int64
 	// Cycles counts Tick calls, so tests can derive achieved bandwidth.
 	Cycles int64
+
+	// Optional simtrace transfer counters (nil-receiver no-ops by
+	// default): one increment per completed cache-line read/write.
+	readCtr, writeCtr *simtrace.Counter
+}
+
+// Instrument attaches simtrace counters to the end-point's read and write
+// channels. Either may be nil to leave that channel uncounted.
+func (e *Endpoint) Instrument(reads, writes *simtrace.Counter) {
+	e.readCtr, e.writeCtr = reads, writes
 }
 
 // New returns an end-point clocked at clockHz whose achievable bandwidth
@@ -100,6 +111,7 @@ func (e *Endpoint) Read() {
 	}
 	e.readTokens -= LineBytes
 	e.LinesRead++
+	e.readCtr.Inc()
 }
 
 // CanWrite reports whether a cache-line write may be issued this cycle.
@@ -112,6 +124,7 @@ func (e *Endpoint) Write() {
 	}
 	e.writeTokens -= LineBytes
 	e.LinesWritten++
+	e.writeCtr.Inc()
 }
 
 // AchievedGBps returns the realized combined bandwidth so far, for

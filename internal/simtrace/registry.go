@@ -1,0 +1,221 @@
+package simtrace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Metric kinds, as they appear in snapshots and JSON.
+const (
+	KindCounter = "counter"
+	KindGauge   = "gauge"
+)
+
+// Counter is a monotonically growing 64-bit metric (cycles, lines, stalls).
+// All methods are nil-receiver no-ops so uninstrumented components can call
+// through a nil pointer at zero cost.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v += d
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Name returns the registered name ("" for nil).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is a point-in-time metric that also records its high-water mark
+// (FIFO occupancy, fill levels). Nil-receiver methods are no-ops.
+type Gauge struct {
+	name string
+	last int64
+	max  int64
+	seen bool
+}
+
+// Observe records v as the gauge's current value, updating the high-water
+// mark.
+func (g *Gauge) Observe(v int64) {
+	if g == nil {
+		return
+	}
+	g.last = v
+	if !g.seen || v > g.max {
+		g.max = v
+		g.seen = true
+	}
+}
+
+// Value returns the most recent observation (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.last
+}
+
+// Max returns the high-water mark (0 for nil or never observed).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// Name returns the registered name ("" for nil).
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Registry is a named set of counters and gauges. Creation order is
+// remembered so snapshots never iterate a map (the fpgavet determinism
+// contract); snapshots are additionally sorted by name so the creation
+// order does not leak into golden files.
+type Registry struct {
+	order    []string
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. A nil registry returns a nil counter (whose methods are no-ops).
+// Registering a name as both counter and gauge is a caller bug and panics.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if _, clash := r.gauges[name]; clash {
+		panic(fmt.Sprintf("simtrace: %q already registered as a gauge", name))
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	r.order = append(r.order, name)
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// A nil registry returns a nil gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	if _, clash := r.counters[name]; clash {
+		panic(fmt.Sprintf("simtrace: %q already registered as a counter", name))
+	}
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	r.order = append(r.order, name)
+	return g
+}
+
+// Metric is one snapshotted metric value.
+type Metric struct {
+	Name  string
+	Kind  string // KindCounter or KindGauge
+	Value int64  // counter total, or gauge's last observation
+	Max   int64  // gauge high-water mark (0 for counters)
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by name.
+type Snapshot []Metric
+
+// Snapshot captures every metric, sorted by name. Safe on nil (empty).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, len(r.order))
+	copy(names, r.order)
+	sort.Strings(names)
+	snap := make(Snapshot, 0, len(names))
+	for _, name := range names {
+		if c, ok := r.counters[name]; ok {
+			snap = append(snap, Metric{Name: name, Kind: KindCounter, Value: c.v})
+			continue
+		}
+		g := r.gauges[name]
+		snap = append(snap, Metric{Name: name, Kind: KindGauge, Value: g.last, Max: g.max})
+	}
+	return snap
+}
+
+// Get returns the metric registered under name.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	// The snapshot is sorted by name; binary search keeps Get cheap for
+	// assertion-heavy tests.
+	i := sort.Search(len(s), func(i int) bool { return s[i].Name >= name })
+	if i < len(s) && s[i].Name == name {
+		return s[i], true
+	}
+	return Metric{}, false
+}
+
+// WriteJSON writes the snapshot as deterministic, diff-friendly JSON: one
+// metric object per line, fields in fixed order, sorted by name. Byte
+// identical across same-seed runs.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, "{\n  \"metrics\": [\n"); err != nil {
+		return fmt.Errorf("simtrace: writing metrics snapshot: %w", err)
+	}
+	for i, m := range s {
+		sep := ","
+		if i == len(s)-1 {
+			sep = ""
+		}
+		var line string
+		if m.Kind == KindGauge {
+			line = fmt.Sprintf("    {\"name\": %q, \"kind\": %q, \"value\": %d, \"max\": %d}%s\n",
+				m.Name, m.Kind, m.Value, m.Max, sep)
+		} else {
+			line = fmt.Sprintf("    {\"name\": %q, \"kind\": %q, \"value\": %d}%s\n",
+				m.Name, m.Kind, m.Value, sep)
+		}
+		if _, err := io.WriteString(w, line); err != nil {
+			return fmt.Errorf("simtrace: writing metrics snapshot: %w", err)
+		}
+	}
+	if _, err := io.WriteString(w, "  ]\n}\n"); err != nil {
+		return fmt.Errorf("simtrace: writing metrics snapshot: %w", err)
+	}
+	return nil
+}

@@ -32,6 +32,7 @@ func FPGACompressed(opts FPGAOptions, col *codec.RLEColumn) (result *Result, err
 		Hash:          opts.Hash,
 		Layout:        core.VRID,
 		PadFraction:   opts.PadFraction,
+		Trace:         opts.Trace,
 	}
 	if opts.Format == PadMode {
 		cfg.Format = core.PAD
@@ -55,5 +56,6 @@ func FPGACompressed(opts FPGAOptions, col *codec.RLEColumn) (result *Result, err
 		fpgaWritten:   true,
 		fpga:          out,
 		Stats:         snapshot(stats),
+		Trace:         opts.Trace,
 	}, nil
 }

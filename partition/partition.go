@@ -28,6 +28,7 @@ import (
 	"fpgapart/internal/core"
 	"fpgapart/internal/cpupart"
 	"fpgapart/internal/hashutil"
+	"fpgapart/internal/simtrace"
 	"fpgapart/platform"
 	"fpgapart/workload"
 )
@@ -97,20 +98,29 @@ type Result struct {
 
 	// Stats carries FPGA run statistics (zero value for CPU runs).
 	Stats FPGAStats
+
+	// Trace is the simtrace session the run reported into (nil unless
+	// FPGAOptions.Trace was set): its Metrics hold the cycle-level
+	// counters and gauges, its Tracer the per-component timeline, and
+	// Trace.Summary() renders both as a text table.
+	Trace *simtrace.Session
 }
 
 // FPGAStats is the public snapshot of a simulated circuit run.
 type FPGAStats struct {
-	Cycles             int64
-	LinesRead          int64
-	LinesWritten       int64
-	Dummies            int64
-	StallsHazard       int64
-	ForwardedHazards   int64
-	StallsBackpressure int64
-	PageTranslations   int64
-	HistogramCycles    int64
-	FlushCycles        int64
+	Cycles              int64
+	LinesRead           int64
+	LinesWritten        int64
+	Dummies             int64
+	StallsHazard        int64
+	ForwardedHazards    int64
+	StallsBackpressure  int64
+	PageTranslations    int64
+	HistogramCycles     int64
+	FlushCycles         int64
+	HashPipelineBubbles int64
+	CombinerBRAMReads   int64
+	CombinerBRAMWrites  int64
 }
 
 // NumPartitions returns the fan-out.
@@ -287,6 +297,13 @@ type FPGAOptions struct {
 	// FallbackThreads is the parallelism of the CPU fallback partitioner.
 	FallbackThreads int
 
+	// Trace attaches a simtrace session to the simulated circuit: runs
+	// report cycle-level counters into Trace.Metrics and phase spans plus
+	// windowed samples into Trace.Tracer, and Result.Trace echoes the
+	// session. Successive Partition calls accumulate into the session.
+	// Nil (the default) disables tracing at zero per-cycle cost.
+	Trace *simtrace.Session
+
 	// Ablation switches (see core.Config).
 	DisableForwarding    bool
 	DisableWriteCombiner bool
@@ -318,6 +335,7 @@ func NewFPGA(opts FPGAOptions) (p Partitioner, err error) {
 		PadFraction:          opts.PadFraction,
 		DisableForwarding:    opts.DisableForwarding,
 		DisableWriteCombiner: opts.DisableWriteCombiner,
+		Trace:                opts.Trace,
 	}
 	if opts.Format == PadMode {
 		cfg.Format = core.PAD
@@ -370,6 +388,7 @@ func (p *fpgaPartitioner) Partition(rel *workload.Relation) (result *Result, err
 		fpgaWritten:   true,
 		fpga:          out,
 		Stats:         snapshot(stats),
+		Trace:         p.opts.Trace,
 	}, nil
 }
 
@@ -405,20 +424,24 @@ func (p *fpgaPartitioner) fallback(rel *workload.Relation, aborted *core.Stats) 
 		fellBack:      true,
 		cpu:           cpu,
 		Stats:         snapshot(aborted),
+		Trace:         p.opts.Trace,
 	}, nil
 }
 
 func snapshot(s *core.Stats) FPGAStats {
 	return FPGAStats{
-		Cycles:             s.Cycles,
-		LinesRead:          s.LinesRead,
-		LinesWritten:       s.LinesWritten,
-		Dummies:            s.Dummies,
-		StallsHazard:       s.StallsHazard,
-		ForwardedHazards:   s.ForwardedHazards,
-		StallsBackpressure: s.StallsBackpressure,
-		PageTranslations:   s.PageTranslations,
-		HistogramCycles:    s.HistogramCycles,
-		FlushCycles:        s.FlushCycles,
+		Cycles:              s.Cycles,
+		LinesRead:           s.LinesRead,
+		LinesWritten:        s.LinesWritten,
+		Dummies:             s.Dummies,
+		StallsHazard:        s.StallsHazard,
+		ForwardedHazards:    s.ForwardedHazards,
+		StallsBackpressure:  s.StallsBackpressure,
+		PageTranslations:    s.PageTranslations,
+		HistogramCycles:     s.HistogramCycles,
+		FlushCycles:         s.FlushCycles,
+		HashPipelineBubbles: s.HashPipelineBubbles,
+		CombinerBRAMReads:   s.CombinerBRAMReads,
+		CombinerBRAMWrites:  s.CombinerBRAMWrites,
 	}
 }
