@@ -4,7 +4,10 @@
 #                   race-enabled tests
 #   make tier1    — the minimal tier-1 loop (build + test)
 #   make lint     — fpgavet static-analysis suite (determinism, panic
-#                   boundary, error hygiene, clocked components)
+#                   boundary, error hygiene, clocked components, bench-json)
+#   make bench    — regenerate the committed perfbench baseline
+#   make bench-gate — run the perf matrix and fail on any gated
+#                   (simulated, deterministic) metric change vs the baseline
 #
 # The race target skips fpgapart/experiments: it re-runs every paper
 # experiment and the race detector's ~10x overhead pushes it past any
@@ -13,7 +16,7 @@
 
 GO ?= go
 
-.PHONY: verify tier1 build vet lint lint-fix test race
+.PHONY: verify tier1 build vet lint lint-fix test race bench bench-gate
 
 verify: build vet lint test race
 
@@ -42,3 +45,21 @@ test:
 
 race:
 	$(GO) test -race -timeout 20m $$($(GO) list ./... | grep -v fpgapart/experiments)
+
+# bench regenerates the committed baseline. Only needed after an intentional
+# change to the simulator's cycle behavior or the scenario matrix; commit the
+# updated bench/baseline/BENCH_*.json with the change that caused it.
+bench:
+	$(GO) run ./cmd/perfbench run -out bench/baseline
+
+# bench-gate is the zero-noise perf regression gate: the gated metrics are
+# simulated cycles (deterministic for a fixed seed), so any diff against the
+# baseline is a true regression. On failure the diverging report is left at
+# bench/baseline/BENCH_<suite>.got.json.
+bench-gate:
+	$(GO) run ./cmd/perfbench run -out bench/out
+	@fail=0; \
+	for suite in partition join distjoin; do \
+		$(GO) run ./cmd/perfbench compare bench/baseline/BENCH_$$suite.json bench/out/BENCH_$$suite.json || fail=1; \
+	done; \
+	exit $$fail

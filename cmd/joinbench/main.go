@@ -22,6 +22,7 @@ import (
 	"fpgapart/distjoin"
 	"fpgapart/hashjoin"
 	"fpgapart/internal/faults"
+	"fpgapart/internal/perfbench"
 	"fpgapart/internal/simtrace"
 	"fpgapart/partition"
 	"fpgapart/workload"
@@ -54,8 +55,21 @@ func main() {
 		faultCrashAfter = flag.Float64("fault-crash-after", 0.5, "fraction of the exchange after which the node crashes")
 		faultDegrade    = flag.String("fault-degrade", "", "degraded link as src:dst:factor (e.g. 0:2:0.25)")
 		faultStraggle   = flag.String("fault-straggle", "", "straggler as node:factor (e.g. 3:2.5)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile after the run to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := perfbench.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	spec, err := workload.Spec(workload.WorkloadID(*wl))
 	if err != nil {

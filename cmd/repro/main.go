@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"fpgapart/experiments"
+	"fpgapart/internal/perfbench"
 )
 
 func main() {
@@ -29,6 +30,8 @@ func main() {
 		seed       = flag.Int64("seed", 42, "workload generator seed")
 		maxThreads = flag.Int("threads", 0, "thread sweep ceiling (0 = min(10, cores))")
 		csvDir     = flag.String("csv", "", "also write <dir>/<exp>.csv per experiment")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile after the run to this file")
 	)
 	flag.Parse()
 
@@ -38,6 +41,18 @@ func main() {
 		}
 		return
 	}
+
+	stopProfiles, err := perfbench.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}()
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, MaxThreads: *maxThreads}.WithDefaults()
 	fmt.Printf("fpgapart reproduction — scale %.4g, seed %d, ≤%d threads\n", cfg.Scale, cfg.Seed, cfg.MaxThreads)

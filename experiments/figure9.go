@@ -29,6 +29,31 @@ type Figure9Result struct {
 	Bars   []Figure9Bar
 }
 
+// FPGAMode is one of the four FPGA partitioner configurations the paper
+// sweeps in Figure 9 (HIST/PAD output strategy × RID/VRID input layout).
+// The table is shared by the Figure 9 experiment and the perfbench matrix,
+// so BENCH record names line up with the paper's bars.
+type FPGAMode struct {
+	Name   string
+	Format partition.Format
+	Layout partition.Layout
+	// PaperMTuplesPerS is the throughput the paper reports for this mode on
+	// the Xeon+FPGA platform.
+	PaperMTuplesPerS float64
+	// Model selects the matching cost-model variant of Section 4.6.
+	Model model.Mode
+}
+
+// FPGAModes lists the four modes in the paper's Figure 9 order.
+func FPGAModes() []FPGAMode {
+	return []FPGAMode{
+		{"HIST/RID", partition.HistMode, partition.RowStore, 299, model.Mode{Hist: true}},
+		{"HIST/VRID", partition.HistMode, partition.ColumnStore, 391, model.Mode{Hist: true, VRID: true}},
+		{"PAD/RID", partition.PadMode, partition.RowStore, 436, model.Mode{}},
+		{"PAD/VRID", partition.PadMode, partition.ColumnStore, 514, model.Mode{VRID: true}},
+	}
+}
+
 // RunFigure9 measures end-to-end partitioning throughput of the four FPGA
 // modes on the Xeon+FPGA link, the parallel CPU partitioner on the host, and
 // the raw-wrapper circuit (25.6 GB/s), alongside the related-work reference
@@ -63,19 +88,13 @@ func RunFigure9(cfg Config) (*Figure9Result, error) {
 		paper  float64
 		model  model.Mode
 	}
-	modes := []mode{
-		{"HIST/RID", partition.HistMode, partition.RowStore, xeon, 299, model.Mode{Hist: true}},
-		{"HIST/VRID", partition.HistMode, partition.ColumnStore, xeon, 391, model.Mode{Hist: true, VRID: true}},
-		{"PAD/RID", partition.PadMode, partition.RowStore, xeon, 436, model.Mode{}},
-		{"PAD/VRID", partition.PadMode, partition.ColumnStore, xeon, 514, model.Mode{VRID: true}},
-	}
-	for _, m := range modes {
-		bar, err := runFPGAMode(m.name, m.format, m.layout, m.plat, rel, col, n)
+	for _, fm := range FPGAModes() {
+		bar, err := runFPGAMode(fm.Name, fm.Format, fm.Layout, xeon, rel, col, n)
 		if err != nil {
 			return nil, err
 		}
-		bar.Paper = m.paper
-		bar.Model = model.ForMode(m.model, m.plat, int64(n)).TotalRate() / 1e6
+		bar.Paper = fm.PaperMTuplesPerS
+		bar.Model = model.ForMode(fm.Model, xeon, int64(n)).TotalRate() / 1e6
 		res.Bars = append(res.Bars, *bar)
 	}
 

@@ -41,6 +41,10 @@ type probe struct {
 	fifo1High   *simtrace.Gauge
 	qpiBytesCyc *simtrace.Gauge // ×100, avoids floats in the registry
 	bramUtil    *simtrace.Gauge // ×100
+
+	// partSizes buckets the per-partition valid tuple counts (log2) at the
+	// end of each run — the skew profile the perf gate diffs across PRs.
+	partSizes *simtrace.Histogram
 }
 
 // newProbe resolves the session's metrics and instruments the run's FIFOs
@@ -70,6 +74,8 @@ func newProbe(sess *simtrace.Session, r *run) *probe {
 		fifo1High:   m.Gauge("fifo.stage1.high_water"),
 		qpiBytesCyc: m.Gauge("qpi.bytes_per_cycle_x100"),
 		bramUtil:    m.Gauge("combiner.bram.port_util_x100"),
+
+		partSizes: m.Histogram("partition.size_tuples"),
 	}
 	p.base = p.cycles.Value()
 
@@ -146,6 +152,15 @@ func (p *probe) finish(r *run) {
 	p.translations.Add(st.PageTranslations)
 	p.bramReads.Add(st.CombinerBRAMReads)
 	p.bramWrites.Add(st.CombinerBRAMWrites)
+
+	// Bucket the per-partition output sizes (skipped for overflow-aborted
+	// runs, whose counts are partial and whose abort point is already
+	// reported via Stats.OverflowAtTuple).
+	if !st.Overflowed {
+		for _, n := range r.counts {
+			p.partSizes.Observe(n)
+		}
+	}
 
 	p.fifo1High.Observe(int64(st.MaxStage1FIFO))
 	if st.Cycles > 0 {

@@ -29,6 +29,7 @@ var DeterministicPathPackages = []string{
 	"fpgapart/internal/rdma",
 	"fpgapart/internal/qpi",
 	"fpgapart/internal/simtrace",
+	"fpgapart/internal/perfbench",
 	"fpgapart/partition",
 	"fpgapart/distjoin",
 }

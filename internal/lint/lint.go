@@ -17,6 +17,10 @@
 //   - clocked-component — types with a Tick/Cycle method live in simulated
 //     time: they must not hold time.Time/time.Duration state, read the host
 //     clock, or spawn goroutines inside a tick.
+//   - bench-json — packages that write gated BENCH/golden reports must emit
+//     them through the simtrace field-by-field writers; encoding/json's
+//     reflective marshal side is banned there so the byte layout (and with
+//     it the zero-noise perf gate) stays pinned.
 //
 // A finding can be suppressed by an explicit escape hatch — a comment of the
 // form
@@ -78,6 +82,7 @@ func All() []Analyzer {
 		DefaultPanicBoundary(),
 		NewErrHygiene(),
 		NewClocked(),
+		DefaultBenchJSON(),
 	}
 }
 

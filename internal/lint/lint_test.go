@@ -166,6 +166,26 @@ func TestErrHygieneFixture(t *testing.T) {
 	}
 }
 
+func TestBenchJSONFixture(t *testing.T) {
+	pkg := loadFixture(t, "benchfix")
+	bj := &BenchJSON{Paths: map[string]bool{pkg.Path: true}}
+	findings := checkFixture(t, pkg, []Analyzer{bj})
+	assertFinding(t, findings, "bench-json", "json.Marshal")
+	assertFinding(t, findings, "bench-json", "json.NewEncoder")
+	assertFinding(t, findings, "bench-json", "Encoder.Encode")
+	if len(findings) < 4 {
+		t.Fatalf("bench-json caught %d violations, want ≥ 4", len(findings))
+	}
+}
+
+func TestBenchJSONIgnoresOffPathPackages(t *testing.T) {
+	pkg := loadFixture(t, "benchfix")
+	bj := &BenchJSON{Paths: map[string]bool{"fpgapart/experiments": true}}
+	if findings := bj.Check(pkg); len(findings) != 0 {
+		t.Errorf("off-path package flagged: %v", findings)
+	}
+}
+
 func assertFinding(t *testing.T, findings []Finding, analyzer, fragment string) {
 	t.Helper()
 	for _, f := range findings {

@@ -1,0 +1,63 @@
+// Package benchfix is a known-bad fixture for the bench-json analyzer:
+// every `// want <analyzer>` comment marks a line the analyzer must flag.
+// The fixture is loaded under a synthetic BENCH-write-path import path by
+// the tests; it never builds as part of the module.
+package benchfix
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Metric mimics a BENCH record shape.
+type Metric struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// WriteMarshal serializes through the reflective marshaler — the byte layout
+// is owned by the Go release, not this repo, so the gate would trip on a
+// toolchain bump rather than a real regression.
+func WriteMarshal(w io.Writer, m Metric) error {
+	data, err := json.Marshal(m) // want bench-json
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteIndent is the same violation through MarshalIndent.
+func WriteIndent(m Metric) ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ") // want bench-json
+}
+
+// WriteEncoder is the same violation through the streaming encoder.
+func WriteEncoder(w io.Writer, m Metric) error {
+	enc := json.NewEncoder(w) // want bench-json
+	return enc.Encode(m)      // want bench-json
+}
+
+// WriteFieldByFieldOK is the approved pattern: every byte of the layout is
+// spelled out in the repo's own source.
+func WriteFieldByFieldOK(w io.Writer, m Metric) error {
+	_, err := fmt.Fprintf(w, "{\"name\": %q, \"value\": %d}", m.Name, m.Value)
+	return err
+}
+
+// ParseOK uses the read side, which is not byte-layout-sensitive and is
+// explicitly allowed.
+func ParseOK(data []byte) (Metric, error) {
+	var m Metric
+	err := json.Unmarshal(data, &m)
+	return m, err
+}
+
+// DecodeOK streams the read side through a Decoder.
+func DecodeOK(data []byte) (Metric, error) {
+	var m Metric
+	err := json.NewDecoder(bytes.NewReader(data)).Decode(&m)
+	return m, err
+}

@@ -1,0 +1,52 @@
+package perfbench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts CPU profiling to cpuPath and arranges a heap profile
+// at memPath; either path may be empty to skip that profile. The returned
+// stop function ends the CPU profile and writes the heap snapshot (after a
+// GC, so it reflects live objects); call it exactly once, typically deferred.
+//
+// It is shared by cmd/perfbench, cmd/repro and cmd/joinbench so every
+// benchmark entry point grows -cpuprofile/-memprofile the same way. The
+// profiles are host-side observability sidecars — they never feed the gated
+// metrics, which come from the simulator.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("perfbench: creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("perfbench: starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("perfbench: closing CPU profile: %w", err)
+			}
+		}
+		if memPath == "" {
+			return nil
+		}
+		memFile, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("perfbench: creating heap profile: %w", err)
+		}
+		defer memFile.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(memFile); err != nil {
+			return fmt.Errorf("perfbench: writing heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}

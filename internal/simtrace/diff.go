@@ -1,0 +1,69 @@
+package simtrace
+
+// Change classifies one metric's evolution between two snapshots.
+type Change string
+
+const (
+	// Unchanged: present in both snapshots with identical kind, value,
+	// high-water mark and buckets.
+	Unchanged Change = "unchanged"
+	// Changed: present in both snapshots but any field differs.
+	Changed Change = "changed"
+	// Added: present only in the new snapshot.
+	Added Change = "added"
+	// Removed: present only in the old snapshot.
+	Removed Change = "removed"
+)
+
+// Delta is one entry of a snapshot comparison.
+type Delta struct {
+	Name   string
+	Change Change
+	// Old and New are the two sides' metrics (zero value when absent —
+	// check OldOK/NewOK).
+	Old, New     Metric
+	OldOK, NewOK bool
+}
+
+// Diff compares the snapshot (the "old" side) against other (the "new"
+// side) and returns one Delta per metric name, in sorted name order — the
+// same deterministic order the snapshots themselves use. Both snapshots are
+// expected to be sorted by name, as Registry.Snapshot and Snapshot.With
+// produce them.
+func (s Snapshot) Diff(other Snapshot) []Delta {
+	out := make([]Delta, 0, len(s)+len(other))
+	i, j := 0, 0
+	for i < len(s) || j < len(other) {
+		switch {
+		case j >= len(other) || (i < len(s) && s[i].Name < other[j].Name):
+			out = append(out, Delta{Name: s[i].Name, Change: Removed, Old: s[i], OldOK: true})
+			i++
+		case i >= len(s) || other[j].Name < s[i].Name:
+			out = append(out, Delta{Name: other[j].Name, Change: Added, New: other[j], NewOK: true})
+			j++
+		default:
+			d := Delta{Name: s[i].Name, Change: Unchanged, Old: s[i], New: other[j], OldOK: true, NewOK: true}
+			if !metricEqual(s[i], other[j]) {
+				d.Change = Changed
+			}
+			out = append(out, d)
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// metricEqual reports whether two snapshotted metrics are identical in
+// every field, including histogram buckets.
+func metricEqual(a, b Metric) bool {
+	if a.Kind != b.Kind || a.Value != b.Value || a.Max != b.Max || len(a.Buckets) != len(b.Buckets) {
+		return false
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i] != b.Buckets[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,78 @@
+package simtrace
+
+import "testing"
+
+func TestSnapshotDiff(t *testing.T) {
+	old := NewRegistry()
+	old.Counter("cycles").Add(100)
+	old.Counter("stalls").Add(7)
+	old.Gauge("occ").Observe(4)
+	hr := old.Histogram("sizes")
+	hr.Observe(3)
+
+	nw := NewRegistry()
+	nw.Counter("cycles").Add(101) // changed
+	// "stalls" removed
+	nw.Gauge("occ").Observe(4) // unchanged
+	hn := nw.Histogram("sizes")
+	hn.Observe(4) // same count, different bucket → changed
+	nw.Counter("zz.new").Add(1)
+
+	deltas := old.Snapshot().Diff(nw.Snapshot())
+	got := map[string]Change{}
+	for _, d := range deltas {
+		got[d.Name] = d.Change
+	}
+	want := map[string]Change{
+		"cycles": Changed,
+		"stalls": Removed,
+		"occ":    Unchanged,
+		"sizes":  Changed,
+		"zz.new": Added,
+	}
+	if len(deltas) != len(want) {
+		t.Fatalf("got %d deltas, want %d: %+v", len(deltas), len(want), deltas)
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s: change %q, want %q", name, got[name], w)
+		}
+	}
+
+	// Deltas must come out in sorted name order.
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i-1].Name >= deltas[i].Name {
+			t.Fatalf("deltas unsorted: %q before %q", deltas[i-1].Name, deltas[i].Name)
+		}
+	}
+
+	// Gauge high-water-only change must register as Changed.
+	a := NewRegistry()
+	a.Gauge("g").Observe(5)
+	b := NewRegistry()
+	g := b.Gauge("g")
+	g.Observe(9)
+	g.Observe(5) // same last value, higher max
+	d := a.Snapshot().Diff(b.Snapshot())
+	if len(d) != 1 || d[0].Change != Changed {
+		t.Fatalf("max-only divergence not detected: %+v", d)
+	}
+}
+
+func TestSnapshotWith(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m.b").Add(2)
+	snap := r.Snapshot().With(
+		Metric{Name: "m.a", Kind: KindCounter, Value: 1},
+		Metric{Name: "m.c", Kind: KindCounter, Value: 3},
+	)
+	if len(snap) != 3 || snap[0].Name != "m.a" || snap[1].Name != "m.b" || snap[2].Name != "m.c" {
+		t.Fatalf("With did not merge sorted: %+v", snap)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name in With must panic")
+		}
+	}()
+	snap.With(Metric{Name: "m.b"})
+}

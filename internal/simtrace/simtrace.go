@@ -92,9 +92,13 @@ func (s *Session) Summary() string {
 			}
 		}
 		for _, m := range snap {
-			if m.Kind == KindGauge {
+			switch m.Kind {
+			case KindGauge:
 				fmt.Fprintf(&b, "%-*s  %12d  (high water %d)\n", width, m.Name, m.Value, m.Max)
-			} else {
+			case KindHistogram:
+				fmt.Fprintf(&b, "%-*s  %12d  (observations, max %d, %d buckets)\n",
+					width, m.Name, m.Value, m.Max, len(m.Buckets))
+			default:
 				fmt.Fprintf(&b, "%-*s  %12d\n", width, m.Name, m.Value)
 			}
 		}

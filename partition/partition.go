@@ -111,6 +111,8 @@ type FPGAStats struct {
 	Cycles              int64
 	LinesRead           int64
 	LinesWritten        int64
+	TuplesIn            int64
+	TuplesOut           int64
 	Dummies             int64
 	StallsHazard        int64
 	ForwardedHazards    int64
@@ -121,6 +123,12 @@ type FPGAStats struct {
 	HashPipelineBubbles int64
 	CombinerBRAMReads   int64
 	CombinerBRAMWrites  int64
+
+	// Overflowed reports a PAD-mode abort; OverflowAtTuple is how many
+	// tuples had entered the circuit when it was detected. On a fallback
+	// run (Result.FellBack) these describe the aborted FPGA attempt.
+	Overflowed      bool
+	OverflowAtTuple int64
 }
 
 // NumPartitions returns the fan-out.
@@ -433,6 +441,8 @@ func snapshot(s *core.Stats) FPGAStats {
 		Cycles:              s.Cycles,
 		LinesRead:           s.LinesRead,
 		LinesWritten:        s.LinesWritten,
+		TuplesIn:            s.TuplesIn,
+		TuplesOut:           s.TuplesOut,
 		Dummies:             s.Dummies,
 		StallsHazard:        s.StallsHazard,
 		ForwardedHazards:    s.ForwardedHazards,
@@ -443,5 +453,7 @@ func snapshot(s *core.Stats) FPGAStats {
 		HashPipelineBubbles: s.HashPipelineBubbles,
 		CombinerBRAMReads:   s.CombinerBRAMReads,
 		CombinerBRAMWrites:  s.CombinerBRAMWrites,
+		Overflowed:          s.Overflowed,
+		OverflowAtTuple:     s.OverflowAtTuple,
 	}
 }
