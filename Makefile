@@ -16,7 +16,7 @@
 
 GO ?= go
 
-.PHONY: verify tier1 build vet lint lint-fix test race bench bench-gate
+.PHONY: verify tier1 build vet lint lint-fix test race bench bench-gate fuzz
 
 verify: build vet lint test race
 
@@ -59,7 +59,16 @@ bench:
 bench-gate:
 	$(GO) run ./cmd/perfbench run -out bench/out
 	@fail=0; \
-	for suite in partition join distjoin; do \
+	for suite in partition join distjoin sched; do \
 		$(GO) run ./cmd/perfbench compare bench/baseline/BENCH_$$suite.json bench/out/BENCH_$$suite.json || fail=1; \
 	done; \
 	exit $$fail
+
+# fuzz runs each differential fuzz target for a short smoke window (Go's
+# fuzzer accepts one -fuzz target per invocation). CI runs the same loop;
+# raise FUZZTIME locally for a deeper session.
+FUZZTIME ?= 30s
+fuzz:
+	@for target in FuzzPartIndex FuzzBufferedPartition FuzzBufferedAgainstHistogram; do \
+		$(GO) test ./internal/cpupart -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"fpgapart/internal/core"
+)
+
+// refJoinCount brute-forces the expected match count of rKeys ⋈ sKeys.
+func refJoinCount(rKeys, sKeys []uint32) int {
+	byKey := map[uint32]int{}
+	for _, k := range rKeys {
+		byKey[k]++
+	}
+	n := 0
+	for _, k := range sKeys {
+		n += byKey[k]
+	}
+	return n
+}
+
+// TestBatchAccessors pins the 8-byte packing contract: key in the low 32
+// bits, payload in the high 32.
+func TestBatchAccessors(t *testing.T) {
+	b := Batch{0xAABBCCDD_11223344, 0}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if b.Key(0) != 0x11223344 {
+		t.Errorf("Key = %#x", b.Key(0))
+	}
+	if b.Payload(0) != 0xAABBCCDD {
+		t.Errorf("Payload = %#x", b.Payload(0))
+	}
+	if b.Tuple(0) != 0xAABBCCDD_11223344 {
+		t.Errorf("Tuple = %#x", b.Tuple(0))
+	}
+}
+
+// TestHashJoinEdgeCases drives the join operator through the boundary
+// inputs — empty relations on either side, all-duplicate keys, and tuples
+// whose key equals the FPGA's dummy key — on both the CPU path and the
+// forced-FPGA path. The two paths must agree with the brute-force count;
+// before the dummy-key exact fallback, the FPGA path silently dropped every
+// 0xFFFFFFFF-keyed tuple and lost their matches.
+func TestHashJoinEdgeCases(t *testing.T) {
+	dup := make([]uint32, 64)
+	for i := range dup {
+		dup[i] = 5
+	}
+	cases := []struct {
+		name  string
+		r, s  []uint32
+		wantF string // expected substring of ChosenPartitioner under ForceFPGA
+	}{
+		{"both empty", nil, nil, "fpga"},
+		{"empty build", nil, []uint32{1, 2, 3}, "fpga"},
+		{"empty probe", []uint32{1, 2, 3}, nil, "fpga"},
+		{"all duplicates", dup, []uint32{5, 5, 5, 9}, "fpga"},
+		{"max-key tuples", []uint32{core.DefaultDummyKey, 1, core.DefaultDummyKey}, []uint32{core.DefaultDummyKey, 1},
+			"dummy-key exact fallback"},
+		{"max-key probe only", []uint32{1, 2}, []uint32{core.DefaultDummyKey, 2},
+			"dummy-key exact fallback"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := refJoinCount(tc.r, tc.s)
+
+			cpuJoin := NewHashJoin(scanOf(t, tc.r), scanOf(t, tc.s), nil, 16, 2)
+			cpuOut, err := Collect(cpuJoin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cpuOut) != want {
+				t.Errorf("cpu path: %d matches, brute force finds %d", len(cpuOut), want)
+			}
+
+			planner := NewPlanner(PlannerConfig{ForceFPGA: true, Partitions: 16, Threads: 2, Hash: true})
+			fpgaJoin := NewHashJoin(scanOf(t, tc.r), scanOf(t, tc.s), planner, 16, 2)
+			fpgaOut, err := Collect(fpgaJoin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fpgaOut) != want {
+				t.Errorf("fpga path: %d matches, brute force finds %d", len(fpgaOut), want)
+			}
+			if !strings.Contains(fpgaJoin.ChosenPartitioner, tc.wantF) {
+				t.Errorf("ChosenPartitioner = %q, want substring %q", fpgaJoin.ChosenPartitioner, tc.wantF)
+			}
+		})
+	}
+}
+
+// TestGroupByEdgeCases covers the same boundaries for aggregation: an empty
+// child yields zero groups, and a dummy-key group must not vanish on the
+// FPGA path.
+func TestGroupByEdgeCases(t *testing.T) {
+	t.Run("empty child", func(t *testing.T) {
+		out, err := Collect(NewGroupBy(scanOf(t, nil), nil, 8, 2, AggCount))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("%d groups from an empty child", len(out))
+		}
+	})
+	t.Run("max-key group", func(t *testing.T) {
+		keys := []uint32{core.DefaultDummyKey, 7, core.DefaultDummyKey, core.DefaultDummyKey}
+		planner := NewPlanner(PlannerConfig{ForceFPGA: true, Partitions: 8, Threads: 2, Hash: true})
+		g := NewGroupBy(scanOf(t, keys), planner, 8, 2, AggCount)
+		out, err := Collect(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 2 {
+			t.Fatalf("%d groups, want 2 (the dummy-key group must survive)", len(out))
+		}
+		counts := map[uint32]uint32{}
+		for _, tup := range out {
+			counts[uint32(tup)] = uint32(tup >> 32)
+		}
+		if counts[core.DefaultDummyKey] != 3 || counts[7] != 1 {
+			t.Fatalf("group counts = %v", counts)
+		}
+		if !strings.Contains(g.ChosenPartitioner, "dummy-key exact fallback") {
+			t.Errorf("ChosenPartitioner = %q, fallback not recorded", g.ChosenPartitioner)
+		}
+	})
+}

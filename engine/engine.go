@@ -16,14 +16,25 @@ import (
 	"fpgapart/workload"
 )
 
-// Batch is one vector of packed <key, payload> tuples.
+// Batch is one vector of packed 8-byte tuples: the key in the low 32 bits,
+// the payload in the high 32 — the only tuple layout engine operators
+// exchange. Wider relations must be projected down to this packing before
+// entering a pipeline (NewScan enforces it at the leaves); Key and Payload
+// are meaningless on any other encoding.
 type Batch []uint64
 
-// Key returns the key of tuple i.
+// Key returns the key of tuple i (the low 32 bits of the packed tuple).
 func (b Batch) Key(i int) uint32 { return uint32(b[i]) }
 
-// Payload returns the payload of tuple i.
+// Payload returns the payload of tuple i (the high 32 bits).
 func (b Batch) Payload(i int) uint32 { return uint32(b[i] >> 32) }
+
+// Len returns the number of tuples in the batch.
+func (b Batch) Len() int { return len(b) }
+
+// Tuple returns the packed tuple i as it would be stored in a row-layout
+// 8-byte relation.
+func (b Batch) Tuple(i int) uint64 { return b[i] }
 
 // DefaultBatchSize is the vector size used when none is configured: 1024
 // tuples = 8 KB, comfortably L1-resident.

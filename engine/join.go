@@ -9,6 +9,7 @@ import (
 
 	"fpgapart/internal/hashutil"
 	"fpgapart/partition"
+	"fpgapart/workload"
 )
 
 // HashJoin is a blocking partitioned equi-join operator: it drains both
@@ -64,14 +65,17 @@ func (j *HashJoin) Open() error {
 	if err != nil {
 		return err
 	}
-	j.ChosenPartitioner = p.Name()
-	pr, err := p.Partition(r)
+	pr, prName, err := exactPartition(p, planner, r)
 	if err != nil {
 		return err
 	}
-	ps, err := p.Partition(s)
+	ps, psName, err := exactPartition(p, planner, s)
 	if err != nil {
 		return err
+	}
+	j.ChosenPartitioner = prName
+	if psName != prName {
+		j.ChosenPartitioner = prName + " / " + psName
 	}
 	j.out, err = joinMaterialize(pr, ps, j.threads, j.Combine)
 	if err != nil {
@@ -105,6 +109,37 @@ func (j *HashJoin) Close() error {
 		return err
 	}
 	return j.probe.Close()
+}
+
+// exactPartition partitions rel with p and verifies the result is lossless
+// from a consumer's point of view. The FPGA output encoding cannot represent
+// a tuple whose key equals the circuit's dummy key: it is written but reads
+// back as flush padding, so Each silently skips it — for a join that means
+// silently missing matches, for an aggregation a missing group. When the
+// observable tuple count disagrees with the input size, the relation is
+// repartitioned with the CPU partitioner, whose partition boundaries are
+// exact for every key value.
+func exactPartition(p partition.Partitioner, planner *Planner, rel *workload.Relation) (*partition.Result, string, error) {
+	res, err := p.Partition(rel)
+	if err != nil {
+		return nil, "", err
+	}
+	if res.ValidTuples() == int64(rel.NumTuples) {
+		return res, p.Name(), nil
+	}
+	cpu, err := partition.NewCPU(partition.CPUOptions{
+		Partitions: res.NumPartitions(),
+		Hash:       planner.cfg.Hash,
+		Threads:    planner.cfg.Threads,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	exact, err := cpu.Partition(rel)
+	if err != nil {
+		return nil, "", err
+	}
+	return exact, cpu.Name() + " (dummy-key exact fallback)", nil
 }
 
 // joinMaterialize is a bucket-chaining build+probe that emits the joined
@@ -221,11 +256,11 @@ func (g *GroupBy) Open() error {
 	if err != nil {
 		return err
 	}
-	g.ChosenPartitioner = p.Name()
-	parted, err := p.Partition(rel)
+	parted, name, err := exactPartition(p, planner, rel)
 	if err != nil {
 		return err
 	}
+	g.ChosenPartitioner = name
 
 	type kv struct {
 		key uint32

@@ -3,6 +3,7 @@ package hashjoin
 import (
 	"testing"
 
+	"fpgapart/internal/core"
 	"fpgapart/workload"
 )
 
@@ -29,6 +30,73 @@ func TestJoinEmptyRelations(t *testing.T) {
 		if np.Matches != 0 {
 			t.Errorf("case %d nopart: %d matches", i, np.Matches)
 		}
+	}
+}
+
+// TestHybridEmptyRelations covers the previously untested empty-relation
+// path through the FPGA partitioner: an empty side must partition cleanly
+// and join to zero matches, on every side combination.
+func TestHybridEmptyRelations(t *testing.T) {
+	empty, _ := workload.NewRelation(workload.RowLayout, 8, 0)
+	one, _ := workload.FromKeys([]uint32{7}, 8)
+	cases := []struct{ r, s *workload.Relation }{
+		{empty, empty},
+		{empty, one},
+		{one, empty},
+	}
+	for i, c := range cases {
+		res, err := Hybrid(c.r, c.s, Options{Partitions: 16, Hash: true, Threads: 1})
+		if err != nil {
+			t.Fatalf("case %d hybrid: %v", i, err)
+		}
+		if res.Matches != 0 {
+			t.Errorf("case %d hybrid: %d matches on empty side", i, res.Matches)
+		}
+	}
+}
+
+// TestHybridDummyKeyExact is the regression test for the dummy-key drop: a
+// tuple whose key equals the FPGA's dummy key reads back as flush padding,
+// so the FPGA-partitioned join silently lost its matches. The hybrid join
+// must now detect the collision, repartition that side on the CPU, and
+// agree with the pure-CPU join on both count and checksum.
+func TestHybridDummyKeyExact(t *testing.T) {
+	rKeys := []uint32{core.DefaultDummyKey, 1, 2, core.DefaultDummyKey, 3}
+	sKeys := []uint32{core.DefaultDummyKey, core.DefaultDummyKey, 2, 9}
+	r, _ := workload.FromKeys(rKeys, 8)
+	s, _ := workload.FromKeys(sKeys, 8)
+	opts := Options{Partitions: 8, Hash: true, Threads: 1}
+
+	want, err := CPU(r, s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dummy×dummy 2×2 + key 2 once = 5.
+	if want.Matches != 5 {
+		t.Fatalf("cpu reference: %d matches, want 5", want.Matches)
+	}
+	got, err := Hybrid(r, s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Matches != want.Matches {
+		t.Fatalf("hybrid join: %d matches, cpu finds %d", got.Matches, want.Matches)
+	}
+	if got.Checksum != want.Checksum {
+		t.Fatalf("hybrid checksum %#x, cpu %#x", got.Checksum, want.Checksum)
+	}
+	if !got.DummyKeyRepartition {
+		t.Error("DummyKeyRepartition not reported")
+	}
+
+	// A collision-free input must not trigger the repartition.
+	cleanR, _ := workload.FromKeys([]uint32{1, 2, 3}, 8)
+	res, err := Hybrid(cleanR, cleanR, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DummyKeyRepartition {
+		t.Error("DummyKeyRepartition reported without a collision")
 	}
 }
 

@@ -76,6 +76,11 @@ type Result struct {
 	CoherencePenalized bool
 	// FellBack reports a PAD-overflow CPU fallback during partitioning.
 	FellBack bool
+	// DummyKeyRepartition reports that an input contained tuples whose key
+	// equals the FPGA's dummy key — unrepresentable in the FPGA output
+	// encoding, they read back as padding — so that side was repartitioned
+	// on the CPU to keep the join exact.
+	DummyKeyRepartition bool
 
 	Threads int
 }
@@ -98,21 +103,30 @@ func Join(r, s *workload.Relation, p partition.Partitioner, opts Options) (*Resu
 	if err != nil {
 		return nil, fmt.Errorf("hashjoin: partitioning S: %w", err)
 	}
+	pr, rExact, err := exactResult(pr, r, opts)
+	if err != nil {
+		return nil, fmt.Errorf("hashjoin: repartitioning R: %w", err)
+	}
+	ps, sExact, err := exactResult(ps, s, opts)
+	if err != nil {
+		return nil, fmt.Errorf("hashjoin: repartitioning S: %w", err)
+	}
 	bp, err := joincore.BuildProbe(pr, ps, opts.Threads)
 	if err != nil {
 		return nil, err
 	}
 
 	res := &Result{
-		Matches:         bp.Matches,
-		Checksum:        bp.Checksum,
-		PartitionR:      pr.Elapsed(),
-		PartitionS:      ps.Elapsed(),
-		Build:           bp.Build,
-		Probe:           bp.Probe,
-		PartitionerName: p.Name(),
-		FellBack:        pr.FellBack() || ps.FellBack(),
-		Threads:         bp.Threads,
+		Matches:             bp.Matches,
+		Checksum:            bp.Checksum,
+		PartitionR:          pr.Elapsed(),
+		PartitionS:          ps.Elapsed(),
+		Build:               bp.Build,
+		Probe:               bp.Probe,
+		PartitionerName:     p.Name(),
+		FellBack:            pr.FellBack() || ps.FellBack(),
+		DummyKeyRepartition: rExact || sExact,
+		Threads:             bp.Threads,
 	}
 	// The build scans FPGA-written R partitions sequentially; the probe's
 	// chain lookups random-access them. Apply Table 1's penalties to the
@@ -125,6 +139,49 @@ func Join(r, s *workload.Relation, p partition.Partitioner, opts Options) (*Resu
 	}
 	res.Total = res.PartitionR + res.PartitionS + res.Build + res.Probe
 	return res, nil
+}
+
+// exactResult verifies that res exposes every input tuple to its consumers.
+// An FPGA-written result drops tuples whose key collides with the circuit's
+// dummy key (they read back as flush padding), which would silently shrink
+// the join. On a mismatch the side is repartitioned with the exact CPU
+// partitioner over the join-equivalent <key, payload> view of rel, so the
+// build and probe see the full relation.
+func exactResult(res *partition.Result, rel *workload.Relation, opts Options) (*partition.Result, bool, error) {
+	if res.ValidTuples() == int64(rel.NumTuples) {
+		return res, false, nil
+	}
+	src := rel
+	if rel.Layout != workload.RowLayout || rel.Width != 8 {
+		// The join consumes only (key, payload) pairs: materialize them as
+		// 8-byte rows — <key, VRID> for columns, mirroring the FPGA's VRID
+		// output; <key, first-word payload> for wide rows.
+		rows, err := workload.NewRelation(workload.RowLayout, 8, rel.NumTuples)
+		if err != nil {
+			return nil, false, err
+		}
+		for i := 0; i < rel.NumTuples; i++ {
+			pay := uint32(i)
+			if rel.Layout == workload.RowLayout {
+				pay = rel.Payload(i)
+			}
+			rows.SetTuple(i, rel.Key(i), pay)
+		}
+		src = rows
+	}
+	cpu, err := partition.NewCPU(partition.CPUOptions{
+		Partitions: res.NumPartitions(),
+		Hash:       opts.Hash,
+		Threads:    opts.Threads,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	exact, err := cpu.Partition(src)
+	if err != nil {
+		return nil, false, err
+	}
+	return exact, true, nil
 }
 
 // CPU runs the pure-CPU radix hash join: parallel software partitioning

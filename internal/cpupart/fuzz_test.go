@@ -1,0 +1,150 @@
+package cpupart
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+	"testing"
+
+	"fpgapart/internal/hashutil"
+	"fpgapart/workload"
+)
+
+// FuzzPartIndex checks the partition-index function on arbitrary tuples and
+// every legal fan-out: the index must stay in range, depend only on the key
+// half of the tuple, and in radix mode be exactly the low key bits — the
+// contract the FPGA's hash unit and every CPU partitioner share.
+func FuzzPartIndex(f *testing.F) {
+	f.Add(uint64(0), uint(1), false)
+	f.Add(uint64(0xFFFFFFFFFFFFFFFF), uint(13), true)
+	f.Add(uint64(0x12345678_9ABCDEF0), uint(8), true)
+	f.Fuzz(func(t *testing.T, tuple uint64, bits uint, hash bool) {
+		bits = 1 + bits%13 // the paper's fan-out range: 2^1..2^13
+		idx := partIndex(tuple, bits, hash)
+		if idx >= 1<<bits {
+			t.Fatalf("partIndex(%#x, %d, %v) = %d, out of range", tuple, bits, hash, idx)
+		}
+		// Only the low 32 bits (the key) may matter.
+		if got := partIndex(tuple&0xFFFFFFFF, bits, hash); got != idx {
+			t.Fatalf("payload bits leaked into the index: %d vs %d", idx, got)
+		}
+		if !hash {
+			if want := uint32(tuple) & (1<<bits - 1); idx != want {
+				t.Fatalf("radix index of %#x with %d bits = %d, want %d", tuple, bits, idx, want)
+			}
+		}
+	})
+}
+
+// fuzzTuples decodes a fuzz byte string into packed <key, payload> tuples.
+func fuzzTuples(data []byte) []uint64 {
+	tuples := make([]uint64, len(data)/8)
+	for i := range tuples {
+		tuples[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	return tuples
+}
+
+// fuzzRelation packs tuples into a row-layout relation.
+func fuzzRelation(t *testing.T, tuples []uint64) *workload.Relation {
+	t.Helper()
+	rel, err := workload.NewRelation(workload.RowLayout, 8, len(tuples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(rel.Data, tuples)
+	return rel
+}
+
+// FuzzBufferedPartition is differential fuzzing of the cache-aware
+// partitioners against the naive single-scatter reference (Code 1): for any
+// tuple set, fan-out, hash mode, and thread count, Buffered (Code 2) and
+// MultiPass must produce the identical histogram and, per partition, the
+// identical tuple multiset.
+func FuzzBufferedPartition(f *testing.F) {
+	f.Add([]byte{}, uint8(3), true, uint8(1))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64), uint8(6), true, uint8(3))
+	f.Add([]byte("0123456789abcdef0123456789abcdef"), uint8(1), false, uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, fanBits uint8, hash bool, threads uint8) {
+		if len(data) > 1<<16 {
+			t.Skip("bound the per-input work")
+		}
+		parts := 1 << (1 + fanBits%9) // 2..512 partitions
+		cfg := Config{
+			NumPartitions: parts,
+			Hash:          hash,
+			Threads:       1 + int(threads%4),
+		}
+		rel := fuzzRelation(t, fuzzTuples(data))
+
+		cfg.Algorithm = Naive
+		want, err := Partition(rel, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []Algorithm{Buffered, MultiPass} {
+			cfg.Algorithm = alg
+			got, err := Partition(rel, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comparePartitions(t, alg, want, got)
+		}
+	})
+}
+
+// comparePartitions requires identical offsets and per-partition multisets.
+func comparePartitions(t *testing.T, alg Algorithm, want, got *Result) {
+	t.Helper()
+	if got.NumPartitions != want.NumPartitions || len(got.Offsets) != len(want.Offsets) {
+		t.Fatalf("%v: shape %d/%d partitions, naive has %d/%d",
+			alg, got.NumPartitions, len(got.Offsets), want.NumPartitions, len(want.Offsets))
+	}
+	if int64(len(got.Data)) != int64(len(want.Data)) {
+		t.Fatalf("%v: %d tuples out, naive emits %d", alg, len(got.Data), len(want.Data))
+	}
+	for p := 0; p < want.NumPartitions; p++ {
+		if got.Offsets[p] != want.Offsets[p] {
+			t.Fatalf("%v: Offsets[%d] = %d, naive has %d", alg, p, got.Offsets[p], want.Offsets[p])
+		}
+		g := append([]uint64(nil), got.Partition(p)...)
+		w := append([]uint64(nil), want.Partition(p)...)
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("%v: partition %d differs from naive at tuple %d: %#x vs %#x",
+					alg, p, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// FuzzBufferedAgainstHistogram cross-checks the partitioners' histogram
+// against a direct count — partition sizes are the quantity the paper's
+// histogram unit (Section 4.3) must get exactly right.
+func FuzzBufferedAgainstHistogram(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(4))
+	f.Fuzz(func(t *testing.T, data []byte, fanBits uint8) {
+		if len(data) > 1<<16 {
+			t.Skip("bound the per-input work")
+		}
+		bits := uint(1 + fanBits%9)
+		tuples := fuzzTuples(data)
+		counts := make([]int64, 1<<bits)
+		for _, tu := range tuples {
+			counts[hashutil.PartitionIndex32(uint32(tu), bits, true)]++
+		}
+		res, err := Partition(fuzzRelation(t, tuples), Config{
+			NumPartitions: 1 << bits, Hash: true, Threads: 2, Algorithm: Buffered,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := range counts {
+			if res.Count(p) != counts[p] {
+				t.Fatalf("partition %d holds %d tuples, direct count says %d", p, res.Count(p), counts[p])
+			}
+		}
+	})
+}

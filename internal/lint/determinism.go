@@ -32,6 +32,7 @@ var DeterministicPathPackages = []string{
 	"fpgapart/internal/perfbench",
 	"fpgapart/partition",
 	"fpgapart/distjoin",
+	"fpgapart/partserver",
 }
 
 // DefaultDeterminism returns the analyzer scoped to the project's

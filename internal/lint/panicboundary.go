@@ -29,8 +29,9 @@ type PanicBoundary struct {
 func DefaultPanicBoundary() *PanicBoundary {
 	return &PanicBoundary{
 		Boundary: map[string]bool{
-			"fpgapart/partition": true,
-			"fpgapart/distjoin":  true,
+			"fpgapart/partition":  true,
+			"fpgapart/distjoin":   true,
+			"fpgapart/partserver": true,
 		},
 		InternalPrefix: "fpgapart/internal/",
 		Sentinel:       "ErrSimulatorFault",

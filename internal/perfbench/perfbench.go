@@ -50,10 +50,11 @@ const (
 	SuitePartition = "partition"
 	SuiteJoin      = "join"
 	SuiteDistjoin  = "distjoin"
+	SuiteSched     = "sched"
 )
 
 // Suites lists every suite in canonical order.
-func Suites() []string { return []string{SuitePartition, SuiteJoin, SuiteDistjoin} }
+func Suites() []string { return []string{SuitePartition, SuiteJoin, SuiteDistjoin, SuiteSched} }
 
 // BenchFileName returns the canonical file name of a suite's report.
 func BenchFileName(suite string) string { return "BENCH_" + suite + ".json" }
@@ -113,6 +114,8 @@ func RunSuite(suite string, cfg Config) (*Report, error) {
 		records, err = runJoinSuite(cfg)
 	case SuiteDistjoin:
 		records, err = runDistjoinSuite(cfg)
+	case SuiteSched:
+		records, err = runSchedSuite(cfg)
 	default:
 		return nil, fmt.Errorf("perfbench: unknown suite %q (have %v)", suite, Suites())
 	}

@@ -165,6 +165,25 @@ func (r *Result) TotalTuples() int64 {
 	return n
 }
 
+// ValidTuples returns the number of tuples a consumer actually observes
+// through Each/Slot. For CPU-written results this equals TotalTuples. For
+// FPGA-written results it can be smaller: an input tuple whose key equals
+// the circuit's dummy key is written to the output lines but is
+// indistinguishable from flush padding, so every reader skips it — the
+// histogram counts it, Each never yields it. Callers that must not lose
+// tuples compare this against the input size and repartition on the CPU
+// (whose boundaries are exact) when they disagree.
+func (r *Result) ValidTuples() int64 {
+	if r.cpu != nil {
+		return r.TotalTuples()
+	}
+	var n int64
+	for p := 0; p < r.numPartitions; p++ {
+		r.Each(p, func(_, _ uint32) { n++ })
+	}
+	return n
+}
+
 // SlotCount returns the number of addressable tuple slots in partition p.
 // For FPGA-written partitions this includes dummy slots; use Slot's ok
 // result to skip them.

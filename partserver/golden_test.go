@@ -1,0 +1,103 @@
+package partserver
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fpgapart/internal/faults"
+	"fpgapart/internal/simtrace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// TestGoldenConformance pins the scheduler's complete observable behaviour —
+// report, per-resource Chrome trace, and metrics snapshot — for one fixed
+// faulty scenario against a committed golden file. Any change to placement
+// policy, batching, virtual-time accounting, or trace emission shows up as a
+// byte diff here; -update rewrites the snapshot, and a mismatch leaves a
+// .got.json next to the golden file for CI to upload.
+func TestGoldenConformance(t *testing.T) {
+	const (
+		seed = 42
+		n    = 20
+	)
+	jobs, err := GenerateTrace(seed, n, TraceOptions{MeanGapUS: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := simtrace.NewSession()
+	rep, err := Run(jobs, Config{
+		FPGAs:   2,
+		Workers: 2,
+		Seed:    seed,
+		Trace:   sess,
+		Faults: &faults.Scenario{
+			Seed:        seed,
+			DropProb:    0.2,
+			Crashes:     []faults.Crash{{Node: 1, AfterFraction: 0.3}},
+			Stragglers:  []faults.Straggler{{Node: 0, Factor: 1.5}},
+			CorruptProb: 0.1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The golden file pins the bytes; the semantics must hold regardless.
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		if r.Status != StatusDone {
+			t.Fatalf("job %d: %v %q", r.ID, r.Status, r.Err)
+		}
+		checkResult(t, &jobs[r.ID], r)
+	}
+
+	var b bytes.Buffer
+	b.WriteString("{\n\"report\": ")
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(",\n\"trace\": ")
+	if err := sess.Tracer.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(",\n\"metrics\": ")
+	if err := sess.Metrics.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString("}\n")
+
+	compareGolden(t, filepath.Join("testdata", "golden", "partserver_conformance.json"), b.Bytes())
+}
+
+// compareGolden diffs got against the golden file, honouring -update. On a
+// mismatch the actual bytes are written next to the golden file as
+// <name>.got.json so CI can attach them as an artifact.
+func compareGolden(t *testing.T, golden string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test ./partserver -run TestGolden -update` to create it): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotPath := golden[:len(golden)-len(".json")] + ".got.json"
+	if err := os.WriteFile(gotPath, got, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Errorf("golden mismatch: %s differs from %s\n%s\nrerun with -update if the change is intended",
+		golden, gotPath, firstDiff(want, got))
+}

@@ -1,0 +1,445 @@
+// Package partserver is the multi-tenant job scheduler of the
+// production-scale system the ROADMAP aims at: it admits concurrent
+// partition and join jobs and shards them across N simulated FPGA
+// partitioner instances (internal/core circuits) and M CPU partitioner
+// workers (internal/cpupart), the scale-out shape HBM-on-FPGA deployments
+// take — many independent partitioner instances behind one scheduler.
+//
+// The scheduler runs on a deterministic virtual-time event loop: the clock
+// is a simulated microsecond counter, never the host clock. Real goroutines
+// execute the work — FPGA jobs run the cycle-level circuit simulator, CPU
+// jobs run the measured software partitioner — but every scheduling
+// decision (admission, placement, batching, fault handling) is a pure
+// function of the job trace, the configuration and the seed, because the
+// virtual duration of each job is itself deterministic: simulated cycles
+// for the FPGA, a calibrated-constant rate for the CPU. Two runs with the
+// same seed and trace therefore produce byte-identical placement
+// decisions, simtrace output and results, even though the goroutines
+// interleave differently on the host. The package sits on the fpgavet
+// deterministic path, which machine-enforces the no-wall-clock /
+// no-global-rand / no-map-range discipline this rests on.
+//
+// Scheduling model, in one paragraph: jobs arrive at virtual times given by
+// the trace and wait in an unbounded backlog until the bounded admission
+// queue has room (backpressure delays admission, it never drops a job);
+// admitted jobs are placed on free resources by the paper's analytical cost
+// model (internal/model predicts the FPGA side, a calibrated constant rate
+// predicts the CPU side), with seeded tie-breaking between equally good
+// choices; consecutive queued jobs with the same circuit configuration are
+// batched onto one FPGA instance to amortize the reconfiguration latency;
+// and injected FPGA faults (internal/faults: per-job transient faults,
+// fail-stop crashes, stragglers) as well as PAD-mode partition overflows
+// degrade the affected jobs to CPU execution, mirroring the paper's
+// Section 5.4 fallback.
+package partserver
+
+import (
+	"errors"
+	"fmt"
+
+	"fpgapart/internal/core"
+	"fpgapart/internal/faults"
+	"fpgapart/internal/simtrace"
+	"fpgapart/partition"
+	"fpgapart/platform"
+	"fpgapart/workload"
+)
+
+// ErrSimulatorFault is reported (wrapped) when an invariant violation inside
+// the simulator internals panics during a scheduled run. Run converts such
+// panics into errors at the public API boundary; a panic inside a worker
+// goroutine is recovered by the worker itself and surfaces as a failed (or
+// CPU-degraded) job instead of crashing the process. Test with
+// errors.Is(err, ErrSimulatorFault).
+var ErrSimulatorFault = errors.New("partserver: simulator invariant fault")
+
+// guardSimulator converts a panic escaping the simulator into an
+// ErrSimulatorFault-wrapping error. Used via defer with a named return.
+func guardSimulator(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: %v", ErrSimulatorFault, r)
+	}
+}
+
+// Config describes one scheduler deployment: the resource pool, the
+// admission queue, the batching and placement knobs, and the fault scenario.
+type Config struct {
+	// FPGAs is the number of simulated FPGA partitioner instances (default 2).
+	FPGAs int
+	// Workers is the number of CPU partitioner workers (default 1).
+	Workers int
+
+	// QueueDepth bounds the admission queue (default 8). Jobs arriving into
+	// a full queue wait in the backlog — delayed, never dropped.
+	QueueDepth int
+	// BatchMax caps how many same-configuration jobs are dispatched to one
+	// FPGA instance as a single batch (default 4). 1 disables batching.
+	BatchMax int
+	// ReconfigUS is the virtual cost of loading a different circuit
+	// configuration onto an FPGA instance (default 200 µs — partial
+	// reconfiguration, not a full bitstream load).
+	ReconfigUS int64
+
+	// CPURate is the calibrated CPU partitioning rate in tuples/s used both
+	// to predict CPU placements and to charge virtual time to CPU
+	// executions (default 150e6, one core of the paper's host). It is a
+	// deterministic constant, not a measurement: the scheduler may not read
+	// the host clock.
+	CPURate float64
+	// CPUDispatchUS is the fixed virtual overhead of a CPU execution
+	// (default 5 µs).
+	CPUDispatchUS int64
+	// JoinRate is the build+probe rate in tuples/s charged to the join
+	// phase of join jobs (default 200e6).
+	JoinRate float64
+
+	// Seed drives placement tie-breaking (default 1).
+	Seed uint64
+
+	// Platform supplies the FPGA clock and bandwidth curves (default
+	// platform.XeonFPGA()).
+	Platform *platform.Platform
+
+	// Faults optionally injects FPGA failures: DropProb/CorruptProb are
+	// per-execution transient fault probabilities (the job is retried, then
+	// degraded to CPU), Crashes fail-stop an instance after a fraction of
+	// its fair share of the trace, Stragglers stretch an instance's virtual
+	// durations. Link entries do not apply to the scheduler and are ignored.
+	// CPU workers are fault-free.
+	Faults *faults.Scenario
+
+	// MaxFPGARetries is how many times a transiently failed job is retried
+	// on the FPGA pool before degrading to CPU (default 1).
+	MaxFPGARetries int
+
+	// StragglerFraction is the fraction of a job's virtual duration charged
+	// when it is aborted mid-run by a fault or crash (default 0.5).
+	AbortFraction float64
+
+	// Trace attaches a simtrace session: the scheduler reports queue-depth
+	// samples, per-job spans on per-resource timelines, utilization and
+	// placement counters, and queue-wait/execution histograms. All emission
+	// happens on the scheduler loop, in virtual-time order, so traces are
+	// byte-identical across same-seed runs. Nil disables tracing.
+	Trace *simtrace.Session
+}
+
+// WithDefaults returns a copy with unset knobs filled in.
+func (c Config) WithDefaults() Config {
+	if c.FPGAs == 0 && c.Workers == 0 {
+		// Only the all-unset pool defaults; FPGAs:2 alone means "no CPU
+		// workers", which is a legitimate deployment.
+		c.FPGAs = 2
+		c.Workers = 1
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 8
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 4
+	}
+	if c.ReconfigUS == 0 {
+		c.ReconfigUS = 200
+	}
+	if c.CPURate == 0 {
+		c.CPURate = 150e6
+	}
+	if c.CPUDispatchUS == 0 {
+		c.CPUDispatchUS = 5
+	}
+	if c.JoinRate == 0 {
+		c.JoinRate = 200e6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Platform == nil {
+		c.Platform = platform.XeonFPGA()
+	}
+	if c.MaxFPGARetries == 0 {
+		c.MaxFPGARetries = 1
+	}
+	if c.AbortFraction == 0 {
+		c.AbortFraction = 0.5
+	}
+	return c
+}
+
+// Validate reports whether the configuration is runnable.
+func (c *Config) Validate() (err error) {
+	defer guardSimulator(&err)
+	if c.FPGAs < 0 || c.Workers < 0 || c.FPGAs+c.Workers == 0 {
+		return fmt.Errorf("partserver: need at least one resource (FPGAs %d, Workers %d)", c.FPGAs, c.Workers)
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("partserver: QueueDepth %d < 1", c.QueueDepth)
+	}
+	if c.BatchMax < 1 {
+		return fmt.Errorf("partserver: BatchMax %d < 1", c.BatchMax)
+	}
+	if c.ReconfigUS < 0 {
+		return fmt.Errorf("partserver: negative ReconfigUS %d", c.ReconfigUS)
+	}
+	if c.CPURate <= 0 || c.JoinRate <= 0 {
+		return fmt.Errorf("partserver: non-positive rate (CPURate %v, JoinRate %v)", c.CPURate, c.JoinRate)
+	}
+	if c.AbortFraction < 0 || c.AbortFraction > 1 {
+		return fmt.Errorf("partserver: AbortFraction %v outside [0, 1]", c.AbortFraction)
+	}
+	if err := c.Platform.Validate(); err != nil {
+		return fmt.Errorf("partserver: %w", err)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("partserver: %w", err)
+		}
+	}
+	return nil
+}
+
+// Job is one admission request. The zero value is not valid; fill at least
+// Rel and FanOut.
+type Job struct {
+	// Rel is the relation to partition (row layout for RowStore, column
+	// layout for ColumnStore). For join jobs it is the build side.
+	Rel *workload.Relation
+	// Probe, when non-nil, makes this a join job: both relations are
+	// partitioned on the placed resource and then joined (build+probe) with
+	// the result checksum reported.
+	Probe *workload.Relation
+
+	// FanOut is the number of partitions (power of two ≥ 2).
+	FanOut int
+	// Hash selects murmur hashing; false selects radix bits.
+	Hash   bool
+	Format partition.Format
+	Layout partition.Layout
+
+	// ArrivalUS is the virtual arrival time (µs). Jobs may arrive in any
+	// order; the scheduler sorts by (ArrivalUS, index).
+	ArrivalUS int64
+	// TimeoutUS, when > 0, cancels the job if it has not been dispatched
+	// within TimeoutUS of its arrival. Running jobs are never preempted
+	// (the circuit cannot stop mid-relation).
+	TimeoutUS int64
+	// CancelAtUS, when > 0, cancels the job if it is still queued at that
+	// virtual time.
+	CancelAtUS int64
+}
+
+// Status is a job's terminal state. Every submitted job reaches exactly one.
+type Status int
+
+const (
+	// StatusDone: the job completed and its output was verified written.
+	StatusDone Status = iota
+	// StatusTimedOut: the job waited past its TimeoutUS without being
+	// dispatched.
+	StatusTimedOut
+	// StatusCancelled: the job's CancelAtUS passed while it was queued.
+	StatusCancelled
+	// StatusFailed: the job failed on every allowed attempt (e.g. a
+	// simulator fault on the FPGA and again on the CPU rerun).
+	StatusFailed
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusDone:
+		return "done"
+	case StatusTimedOut:
+		return "timedout"
+	case StatusCancelled:
+		return "cancelled"
+	case StatusFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Placement identifies where a job ultimately executed.
+type Placement int
+
+const (
+	// PlacedNone: the job never ran (cancelled or timed out while queued).
+	PlacedNone Placement = iota
+	// PlacedFPGA: the job ran on a simulated FPGA instance.
+	PlacedFPGA
+	// PlacedCPU: the job ran on a CPU worker.
+	PlacedCPU
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlacedNone:
+		return "none"
+	case PlacedFPGA:
+		return "fpga"
+	case PlacedCPU:
+		return "cpu"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// JobResult is one job's outcome.
+type JobResult struct {
+	ID     int
+	Status Status
+
+	// Placement and Instance locate the final successful (or last
+	// attempted) execution: fpga[Instance] or cpu[Instance].
+	Placement Placement
+	Instance  int
+
+	// Attempts counts executions (1 for a clean run; retries and the CPU
+	// rerun of a degraded job each add one).
+	Attempts int
+	// Degraded reports that the job fell back to CPU execution after FPGA
+	// faults, a crash, or a PAD-mode overflow.
+	Degraded bool
+
+	// Virtual timeline (µs): arrival, first dispatch, completion.
+	ArrivalUS  int64
+	DispatchUS int64
+	DoneUS     int64
+	// QueueWaitUS is DispatchUS − ArrivalUS (time to the first dispatch).
+	QueueWaitUS int64
+	// ExecUS is the total virtual execution time charged, including aborted
+	// attempts and reconfiguration shares.
+	ExecUS int64
+
+	// Output shape: per-partition tuple counts and their prefix sum
+	// (Offsets[0] = 0, Offsets[FanOut] = Tuples).
+	Tuples  int64
+	Counts  []int64
+	Offsets []int64
+	// Checksum is the order-insensitive output checksum (the same multiset
+	// hash partition.Result.PartitionChecksum uses, summed over all
+	// partitions). For join jobs it is the joined-pairs checksum folded to
+	// 32 bits.
+	Checksum uint32
+	// Matches is the join cardinality (join jobs only).
+	Matches int64
+
+	// Err carries the failure message of a StatusFailed job.
+	Err string
+}
+
+// Report is the outcome of one scheduled trace.
+type Report struct {
+	// Results holds one entry per submitted job, in job-index order.
+	Results []JobResult
+	// MakespanUS is the virtual completion time of the last job.
+	MakespanUS int64
+	// Placements counts terminal placements by kind.
+	PlacedFPGA, PlacedCPU int
+	// Degraded counts jobs that fell back to CPU execution.
+	Degraded int
+	// FailedInstances lists FPGA instances that fail-stopped, ascending.
+	FailedInstances []int
+}
+
+// Run schedules jobs under cfg and blocks until every job reaches a
+// terminal status. It is the package's single entry point: the full trace
+// is supplied up front because deterministic virtual-time admission needs
+// the arrival order independent of host scheduling.
+func Run(jobs []Job, cfg Config) (rep *Report, err error) {
+	defer guardSimulator(&err)
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for i := range jobs {
+		if err := validateJob(&jobs[i], i); err != nil {
+			return nil, err
+		}
+	}
+	s, err := newScheduler(jobs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+func validateJob(j *Job, id int) error {
+	if j.Rel == nil {
+		return fmt.Errorf("partserver: job %d has no relation", id)
+	}
+	if j.FanOut < 2 {
+		return fmt.Errorf("partserver: job %d fan-out %d < 2", id, j.FanOut)
+	}
+	wantLayout := workload.RowLayout
+	if j.Layout == partition.ColumnStore {
+		wantLayout = workload.ColumnLayout
+	}
+	if j.Rel.Layout != wantLayout {
+		return fmt.Errorf("partserver: job %d layout %v needs a %v relation, got %v", id, j.Layout, wantLayout, j.Rel.Layout)
+	}
+	if j.Probe != nil && j.Probe.Layout != wantLayout {
+		return fmt.Errorf("partserver: job %d probe side layout mismatch: %v vs %v", id, j.Probe.Layout, wantLayout)
+	}
+	if j.Rel.Width != 8 || (j.Probe != nil && j.Probe.Width != 8) {
+		return fmt.Errorf("partserver: job %d needs 8-byte tuples", id)
+	}
+	if j.ArrivalUS < 0 {
+		return fmt.Errorf("partserver: job %d negative arrival %d", id, j.ArrivalUS)
+	}
+	if j.TimeoutUS < 0 || j.CancelAtUS < 0 {
+		return fmt.Errorf("partserver: job %d negative timeout/cancel", id)
+	}
+	if _, err := circuitConfig(j); err != nil {
+		return fmt.Errorf("partserver: job %d: %w", id, err)
+	}
+	return nil
+}
+
+// circuitConfig translates a job spec into a core circuit configuration —
+// the batching key: jobs sharing it can run back-to-back on one instance
+// without reconfiguration.
+func circuitConfig(j *Job) (core.Config, error) {
+	cfg := core.Config{
+		NumPartitions: j.FanOut,
+		TupleWidth:    8,
+		Hash:          j.Hash,
+		PadFraction:   0.5,
+	}
+	if j.Format == partition.PadMode {
+		cfg.Format = core.PAD
+	}
+	if j.Layout == partition.ColumnStore {
+		cfg.Layout = core.VRID
+	}
+	cfg = cfg.WithDefaults()
+	return cfg, cfg.Validate()
+}
+
+// configKey is the comparable batching identity of a circuit configuration.
+type configKey struct {
+	fanOut int
+	hash   bool
+	format core.Format
+	layout core.Layout
+}
+
+func keyOf(j *Job) configKey {
+	k := configKey{fanOut: j.FanOut, hash: j.Hash}
+	if j.Format == partition.PadMode {
+		k.format = core.PAD
+	}
+	if j.Layout == partition.ColumnStore {
+		k.layout = core.VRID
+	}
+	return k
+}
+
+// mix is splitmix64's finalizer, the seeded tie-breaking hash.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

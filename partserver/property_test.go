@@ -1,0 +1,282 @@
+package partserver
+
+import (
+	"fmt"
+	"testing"
+
+	"fpgapart/partition"
+	"fpgapart/workload"
+)
+
+// seedFromName derives a deterministic per-test seed, so every property
+// test draws its own workload but reruns identically.
+func seedFromName(t *testing.T) uint64 {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for _, c := range t.Name() {
+		h = mix(h ^ uint64(c))
+	}
+	return h
+}
+
+// singleTenantChecksum partitions rel exactly once through the public
+// single-tenant API and returns the summed per-partition multiset checksum
+// plus the per-partition counts — the reference every scheduled job must
+// reproduce regardless of placement, batching, retries, or degradation.
+func singleTenantChecksum(t *testing.T, j *Job) (uint32, []int64) {
+	t.Helper()
+	rel := j.Rel
+	if rel.Layout == workload.ColumnLayout {
+		// The scheduler's CPU degrade path and the FPGA's VRID mode both
+		// emit <key, VRID> tuples; the reference does the same.
+		rows, err := workload.NewRelation(workload.RowLayout, 8, rel.NumTuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range rel.Keys {
+			rows.SetTuple(i, k, uint32(i))
+		}
+		rel = rows
+	}
+	p, err := partition.NewCPU(partition.CPUOptions{Partitions: j.FanOut, Hash: j.Hash, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Partition(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint32
+	counts := make([]int64, j.FanOut)
+	for pi := 0; pi < j.FanOut; pi++ {
+		sum += res.PartitionChecksum(pi)
+		counts[pi] = res.Count(pi)
+	}
+	return sum, counts
+}
+
+// referenceJoin brute-forces the join cardinality and pair checksum of a
+// join job, independent of any partitioning.
+func referenceJoin(j *Job) (matches int64, checksum uint64) {
+	byKey := map[uint32][]uint32{}
+	for i := 0; i < j.Rel.NumTuples; i++ {
+		k := j.Rel.Key(i)
+		byKey[k] = append(byKey[k], j.Rel.Payload(i))
+	}
+	for i := 0; i < j.Probe.NumTuples; i++ {
+		k := j.Probe.Key(i)
+		for _, rPay := range byKey[k] {
+			matches++
+			checksum += uint64(rPay) + uint64(j.Probe.Payload(i))
+		}
+	}
+	return matches, checksum
+}
+
+// checkResult verifies one terminal job against the scheduler-independent
+// references: output checksum parity with the single-tenant partitioner,
+// valid prefix-sum offsets, and (for join jobs) brute-force join results.
+func checkResult(t *testing.T, j *Job, r *JobResult) {
+	t.Helper()
+	if r.Status != StatusDone {
+		return
+	}
+	if len(r.Offsets) != j.FanOut+1 || len(r.Counts) != j.FanOut {
+		t.Fatalf("job %d: offsets/counts shape %d/%d, want %d/%d",
+			r.ID, len(r.Offsets), len(r.Counts), j.FanOut+1, j.FanOut)
+	}
+	if r.Offsets[0] != 0 {
+		t.Fatalf("job %d: Offsets[0] = %d", r.ID, r.Offsets[0])
+	}
+	for p := 0; p < j.FanOut; p++ {
+		if r.Offsets[p+1]-r.Offsets[p] != r.Counts[p] {
+			t.Fatalf("job %d: offsets not the prefix sums of counts at %d", r.ID, p)
+		}
+		if r.Counts[p] < 0 {
+			t.Fatalf("job %d: negative count %d in partition %d", r.ID, r.Counts[p], p)
+		}
+	}
+	if r.Offsets[j.FanOut] != r.Tuples {
+		t.Fatalf("job %d: Offsets[n] = %d, Tuples = %d", r.ID, r.Offsets[j.FanOut], r.Tuples)
+	}
+	if r.Tuples != int64(j.Rel.NumTuples) {
+		t.Fatalf("job %d: %d tuples out, %d in", r.ID, r.Tuples, j.Rel.NumTuples)
+	}
+
+	wantSum, wantCounts := singleTenantChecksum(t, j)
+	for p, c := range wantCounts {
+		if r.Counts[p] != c {
+			t.Fatalf("job %d: partition %d holds %d tuples, single-tenant run holds %d",
+				r.ID, p, r.Counts[p], c)
+		}
+	}
+	if j.Probe == nil {
+		if r.Checksum != wantSum {
+			t.Fatalf("job %d (%v, attempts %d, degraded %v): checksum %08x, single-tenant %08x",
+				r.ID, r.Placement, r.Attempts, r.Degraded, r.Checksum, wantSum)
+		}
+		return
+	}
+	wantMatches, wantJoin := referenceJoin(j)
+	if r.Matches != wantMatches {
+		t.Fatalf("job %d: %d matches, brute force finds %d", r.ID, r.Matches, wantMatches)
+	}
+	if r.Checksum != fold64(wantJoin) {
+		t.Fatalf("job %d: join checksum %08x, brute force %08x", r.ID, r.Checksum, fold64(wantJoin))
+	}
+}
+
+// TestPropertyChecksumParity is the core multi-tenancy property: for random
+// job mixes over random pool shapes, every completed job's output is
+// exactly what a single-tenant run of the same job produces — the scheduler
+// adds concurrency, never changes results.
+func TestPropertyChecksumParity(t *testing.T) {
+	seed := seedFromName(t)
+	for round := 0; round < 4; round++ {
+		rseed := mix(seed ^ uint64(round))
+		jobs, err := GenerateTrace(rseed, 10, TraceOptions{MeanGapUS: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			FPGAs:   1 + int(rseed%3),
+			Workers: 1 + int((rseed>>8)%2),
+			Seed:    rseed,
+		}
+		rep, err := Run(jobs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rep.Results {
+			r := &rep.Results[i]
+			if r.Status != StatusDone {
+				t.Fatalf("round %d: job %d not done: %v %q", round, r.ID, r.Status, r.Err)
+			}
+			checkResult(t, &jobs[r.ID], r)
+		}
+	}
+}
+
+// TestPropertyBackpressureNoDrops floods a depth-1 admission queue with
+// simultaneous arrivals: backpressure may delay jobs arbitrarily, but every
+// job must still complete with correct output and a coherent timeline.
+func TestPropertyBackpressureNoDrops(t *testing.T) {
+	seed := seedFromName(t)
+	jobs, err := GenerateTrace(seed, 24, TraceOptions{MeanGapUS: 1, MinTuples: 256, MaxTuples: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		jobs[i].ArrivalUS = 0 // everyone at once
+	}
+	rep, err := Run(jobs, Config{FPGAs: 1, Workers: 1, Seed: seed, QueueDepth: 1, BatchMax: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(rep.Results), len(jobs))
+	}
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		if r.Status != StatusDone {
+			t.Fatalf("job %d dropped under backpressure: %v %q", r.ID, r.Status, r.Err)
+		}
+		if r.DispatchUS < r.ArrivalUS || r.DoneUS < r.DispatchUS {
+			t.Fatalf("job %d: incoherent timeline arrival=%d dispatch=%d done=%d",
+				r.ID, r.ArrivalUS, r.DispatchUS, r.DoneUS)
+		}
+		if r.QueueWaitUS != r.DispatchUS-r.ArrivalUS {
+			t.Fatalf("job %d: queue wait %d ≠ dispatch−arrival %d",
+				r.ID, r.QueueWaitUS, r.DispatchUS-r.ArrivalUS)
+		}
+		checkResult(t, &jobs[r.ID], r)
+	}
+}
+
+// TestPropertyTimeoutAndCancel pins deadline semantics: a job whose
+// deadline passes while queued is timed out (or cancelled) and never runs;
+// a dispatched job is never preempted.
+func TestPropertyTimeoutAndCancel(t *testing.T) {
+	seed := seedFromName(t)
+	jobs, err := GenerateTrace(seed, 12, TraceOptions{MeanGapUS: 1, MinTuples: 4096, MaxTuples: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		jobs[i].ArrivalUS = 0
+		switch i % 3 {
+		case 1:
+			jobs[i].TimeoutUS = 1
+		case 2:
+			jobs[i].CancelAtUS = 2
+		}
+	}
+	rep, err := Run(jobs, Config{FPGAs: 1, Workers: 1, Seed: seed, QueueDepth: 2, BatchMax: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		switch r.Status {
+		case StatusDone:
+			checkResult(t, &jobs[r.ID], r)
+		case StatusTimedOut:
+			if jobs[r.ID].TimeoutUS == 0 {
+				t.Fatalf("job %d timed out without a timeout", r.ID)
+			}
+			if r.Placement != PlacedNone || r.Tuples != 0 {
+				t.Fatalf("job %d: timed out yet ran (%v, %d tuples)", r.ID, r.Placement, r.Tuples)
+			}
+		case StatusCancelled:
+			if jobs[r.ID].CancelAtUS == 0 {
+				t.Fatalf("job %d cancelled without a cancel time", r.ID)
+			}
+			if r.Placement != PlacedNone || r.Tuples != 0 {
+				t.Fatalf("job %d: cancelled yet ran (%v, %d tuples)", r.ID, r.Placement, r.Tuples)
+			}
+		default:
+			t.Fatalf("job %d: unexpected status %v %q", r.ID, r.Status, r.Err)
+		}
+	}
+}
+
+// TestPropertyValidation locks down the request-validation boundary.
+func TestPropertyValidation(t *testing.T) {
+	rel, err := workload.NewGenerator(1).Relation(workload.Random, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		job  Job
+	}{
+		{"nil relation", Job{FanOut: 8}},
+		{"fan-out 1", Job{Rel: rel, FanOut: 1}},
+		{"fan-out not a power of two", Job{Rel: rel, FanOut: 12}},
+		{"negative arrival", Job{Rel: rel, FanOut: 8, ArrivalUS: -1}},
+		{"column job on row relation", Job{Rel: rel, FanOut: 8, Layout: partition.ColumnStore}},
+	}
+	for _, c := range cases {
+		if _, err := Run([]Job{c.job}, Config{}); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := Run(nil, Config{FPGAs: -1}); err == nil {
+		t.Error("negative FPGA count accepted")
+	}
+	if _, err := Run(nil, Config{AbortFraction: 2}); err == nil {
+		t.Error("AbortFraction 2 accepted")
+	}
+}
+
+// TestStatusStrings keeps the enum strings (used in report JSON) stable.
+func TestStatusStrings(t *testing.T) {
+	for want, s := range map[string]fmt.Stringer{
+		"done": StatusDone, "timedout": StatusTimedOut,
+		"cancelled": StatusCancelled, "failed": StatusFailed,
+		"none": PlacedNone, "fpga": PlacedFPGA, "cpu": PlacedCPU,
+	} {
+		if s.String() != want {
+			t.Errorf("%T(%v) = %q, want %q", s, s, s.String(), want)
+		}
+	}
+}

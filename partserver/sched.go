@@ -1,0 +1,708 @@
+package partserver
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fpgapart/internal/faults"
+	"fpgapart/internal/model"
+	"fpgapart/partition"
+)
+
+// jobState is the scheduler's view of one submitted job as it moves
+// through backlog → admission queue → execution → terminal status.
+type jobState struct {
+	id   int
+	spec *Job
+	key  configKey
+
+	status    Status
+	placement Placement
+	instance  int
+	attempts  int
+	degraded  bool
+	// forceCPU pins the job to the CPU pool after FPGA retries are
+	// exhausted, a crash took its instance, or a PAD overflow aborted it.
+	forceCPU bool
+	terminal bool
+
+	arrivalUS  int64
+	dispatchUS int64 // -1 until first dispatch
+	doneUS     int64
+	execUS     int64
+
+	out    execOut
+	errMsg string
+}
+
+func (j *jobState) deadlineUS() int64 {
+	d := int64(math.MaxInt64)
+	if j.spec.TimeoutUS > 0 {
+		d = j.spec.ArrivalUS + j.spec.TimeoutUS
+	}
+	if j.spec.CancelAtUS > 0 && j.spec.CancelAtUS < d {
+		d = j.spec.CancelAtUS
+	}
+	return d
+}
+
+// batch is one dispatch to one resource: a run of same-configuration jobs
+// for an FPGA instance, or a single job for a CPU worker.
+type batch struct {
+	jobs     []*jobState
+	durs     []int64 // per-job charge of this attempt, filled at harvest
+	reconfig bool
+	aborted  bool // scheduler-decided transient fault or crash
+	crash    bool
+	startUS  int64
+	doneUS   int64 // 0 until harvested
+}
+
+// resource is the scheduler-side state of one execution slot.
+type resource struct {
+	kind     Placement // PlacedFPGA or PlacedCPU
+	idx      int       // index within its pool
+	comp     string    // simtrace timeline name: "fpga0", "cpu1", …
+	inflight *batch    // nil when idle
+	loaded   configKey // FPGA: currently configured circuit
+	hasCfg   bool
+	dead     bool
+	started  int // FPGA: jobs started, drives the crash threshold
+	busyUS   int64
+
+	// crash configuration (FPGA only): fail-stop while running job number
+	// crashAt+1; -1 = never. straggle stretches charged durations (≥ 1).
+	crashAt  int
+	straggle float64
+
+	work chan *batch
+	done chan *batch
+}
+
+type scheduler struct {
+	cfg  Config
+	inj  *faults.Injector
+	jobs []*jobState
+
+	// future: not yet arrived (sorted by arrival, id). waiting: arrived but
+	// the admission queue was full. admit: the bounded admission queue.
+	future  []*jobState
+	waiting []*jobState
+	admit   []*jobState
+
+	res  []*resource // fpgas first, then cpus
+	nfpg int
+
+	now      int64
+	makespan int64
+	reconfs  int64
+	batches  int64
+	retries  int64
+	nfaults  int64
+	ncrashes int64
+}
+
+func newScheduler(jobs []Job, cfg Config) (*scheduler, error) {
+	s := &scheduler{cfg: cfg, nfpg: cfg.FPGAs}
+	if cfg.Faults != nil {
+		inj, err := faults.New(*cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		s.inj = inj
+	}
+	s.jobs = make([]*jobState, len(jobs))
+	for i := range jobs {
+		s.jobs[i] = &jobState{
+			id:         i,
+			spec:       &jobs[i],
+			key:        keyOf(&jobs[i]),
+			arrivalUS:  jobs[i].ArrivalUS,
+			instance:   -1,
+			dispatchUS: -1,
+		}
+	}
+	s.future = append(s.future, s.jobs...)
+	sort.SliceStable(s.future, func(a, b int) bool {
+		if s.future[a].arrivalUS != s.future[b].arrivalUS {
+			return s.future[a].arrivalUS < s.future[b].arrivalUS
+		}
+		return s.future[a].id < s.future[b].id
+	})
+
+	// Fair-share crash thresholds: instance i fail-stops while running its
+	// (floor(f·share)+1)-th job, share = ceil(totalJobs/FPGAs). Determinism
+	// holds because Run sees the whole trace up front.
+	share := 0
+	if cfg.FPGAs > 0 {
+		share = (len(jobs) + cfg.FPGAs - 1) / cfg.FPGAs
+	}
+	for i := 0; i < cfg.FPGAs; i++ {
+		r := &resource{
+			kind:     PlacedFPGA,
+			idx:      i,
+			comp:     fmt.Sprintf("fpga%d", i),
+			crashAt:  -1,
+			straggle: 1,
+			work:     make(chan *batch, 1),
+			done:     make(chan *batch, 1),
+		}
+		if s.inj != nil {
+			if f, ok := s.inj.CrashFraction(i); ok {
+				r.crashAt = int(f * float64(share))
+			}
+			r.straggle = s.inj.StraggleFactor(i)
+		}
+		s.res = append(s.res, r)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.res = append(s.res, &resource{
+			kind:     PlacedCPU,
+			idx:      i,
+			comp:     fmt.Sprintf("cpu%d", i),
+			crashAt:  -1,
+			straggle: 1,
+			work:     make(chan *batch, 1),
+			done:     make(chan *batch, 1),
+		})
+	}
+	return s, nil
+}
+
+// count adds to a counter; a nil session is free.
+func (s *scheduler) count(name string, d int64) {
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Metrics.Counter(name).Add(d)
+	}
+}
+
+// observeQueue records the current queue depth (bounded queue + backlog).
+func (s *scheduler) observeQueue() {
+	if s.cfg.Trace == nil {
+		return
+	}
+	depth := int64(len(s.admit) + len(s.waiting))
+	s.cfg.Trace.Metrics.Gauge("sched.queue_depth").Observe(depth)
+	s.cfg.Trace.Tracer.Sample("sched", "queue_depth", s.now, depth)
+}
+
+func (s *scheduler) run() (*Report, error) {
+	for _, r := range s.res {
+		startWorker(r, s.cfg)
+	}
+	defer func() {
+		for _, r := range s.res {
+			close(r.work)
+		}
+	}()
+
+	s.count("sched.jobs_submitted", int64(len(s.jobs)))
+	for {
+		s.admitWaiting()
+		s.dispatchLoop()
+		if !s.advance() {
+			break
+		}
+	}
+	return s.report(), nil
+}
+
+// admitWaiting refills the bounded admission queue from the arrived
+// backlog, in arrival order.
+func (s *scheduler) admitWaiting() {
+	moved := false
+	for len(s.waiting) > 0 && len(s.admit) < s.cfg.QueueDepth {
+		s.admit = append(s.admit, s.waiting[0])
+		s.waiting = s.waiting[1:]
+		moved = true
+	}
+	if moved {
+		s.observeQueue()
+	}
+}
+
+// dispatchLoop places queued jobs on free resources until no placement is
+// possible, scanning the admission queue in order (a job that cannot be
+// placed does not block the jobs behind it).
+func (s *scheduler) dispatchLoop() {
+	for {
+		placed := false
+		for qi := 0; qi < len(s.admit); qi++ {
+			j := s.admit[qi]
+			r := s.place(j)
+			if r == nil {
+				continue
+			}
+			s.dispatch(j, qi, r)
+			placed = true
+			break
+		}
+		if !placed {
+			return
+		}
+		s.admitWaiting()
+	}
+}
+
+// place picks the free resource with the earliest predicted completion for
+// job j, nil when none is free (or permitted). Ties break on a seeded hash
+// so equally good resources are chosen reproducibly.
+func (s *scheduler) place(j *jobState) *resource {
+	var best *resource
+	var bestDone int64
+	var bestTie uint64
+	for ri, r := range s.res {
+		if r.inflight != nil || r.dead {
+			continue
+		}
+		if j.forceCPU && r.kind == PlacedFPGA {
+			continue
+		}
+		done := s.now + s.predict(j, r)
+		tie := mix(s.cfg.Seed ^ mix(uint64(j.id)<<20|uint64(ri)))
+		if best == nil || done < bestDone || (done == bestDone && tie < bestTie) {
+			best, bestDone, bestTie = r, done, tie
+		}
+	}
+	return best
+}
+
+// predict estimates job j's virtual duration on resource r: the analytical
+// cost model (Section 4.6) for the FPGA side, the calibrated constant rate
+// for the CPU side. Predictions drive placement only; actual charges come
+// from simulated cycles (FPGA) or the same constant rates (CPU).
+func (s *scheduler) predict(j *jobState, r *resource) int64 {
+	n := int64(j.spec.Rel.NumTuples)
+	probe := int64(0)
+	if j.spec.Probe != nil {
+		probe = int64(j.spec.Probe.NumTuples)
+	}
+	var us int64
+	if r.kind == PlacedFPGA {
+		mode := model.Mode{
+			Hist: j.spec.Format != partition.PadMode,
+			VRID: j.spec.Layout == partition.ColumnStore,
+		}
+		rate := model.ForMode(mode, s.cfg.Platform, max1(n)).TotalRate()
+		us = ceilDiv(n*1e6, int64(rate))
+		if probe > 0 {
+			rate = model.ForMode(mode, s.cfg.Platform, max1(probe)).TotalRate()
+			us += ceilDiv(probe*1e6, int64(rate))
+		}
+		if !r.hasCfg || r.loaded != j.key {
+			us += s.cfg.ReconfigUS
+		}
+		us = int64(float64(us) * r.straggle)
+	} else {
+		us = s.cfg.CPUDispatchUS + ceilDiv(n*1e6, int64(s.cfg.CPURate))
+		if probe > 0 {
+			us += ceilDiv(probe*1e6, int64(s.cfg.CPURate))
+		}
+	}
+	if probe > 0 {
+		us += ceilDiv((n+probe)*1e6, int64(s.cfg.JoinRate))
+	}
+	return us
+}
+
+// dispatch sends job j (plus, on an FPGA, up to BatchMax−1 queued jobs with
+// the same circuit configuration) to resource r and removes them from the
+// admission queue. Fault and crash verdicts are decided here — on the
+// scheduler loop, deterministically — before the worker runs; the worker
+// always executes for real (race coverage for the pool), and the scheduler
+// discards aborted results at harvest time.
+func (s *scheduler) dispatch(j *jobState, qi int, r *resource) {
+	b := &batch{jobs: []*jobState{j}, startUS: s.now}
+	s.admit = append(s.admit[:qi:qi], s.admit[qi+1:]...)
+	if r.kind == PlacedFPGA {
+		if !r.hasCfg || r.loaded != j.key {
+			b.reconfig = true
+			s.reconfs++
+		}
+		for qj := 0; qj < len(s.admit) && len(b.jobs) < s.cfg.BatchMax; {
+			cand := s.admit[qj]
+			if cand.key == j.key && !cand.forceCPU {
+				b.jobs = append(b.jobs, cand)
+				s.admit = append(s.admit[:qj:qj], s.admit[qj+1:]...)
+				continue
+			}
+			qj++
+		}
+		r.loaded, r.hasCfg = j.key, true
+
+		// Crash verdict: the batch that carries the instance past its
+		// fail-stop threshold aborts mid-run and kills the instance.
+		if r.crashAt >= 0 && r.started+len(b.jobs) > r.crashAt {
+			b.aborted, b.crash = true, true
+		}
+		r.started += len(b.jobs)
+
+		// Transient fault verdict, drawn per dispatch attempt.
+		if !b.aborted && s.inj != nil {
+			fate, _ := s.inj.MessageFate(faults.MsgID{
+				Src: r.idx, Piece: uint64(j.id), Attempt: j.attempts,
+			})
+			if fate != faults.Deliver {
+				b.aborted = true
+			}
+		}
+	}
+	for _, bj := range b.jobs {
+		bj.attempts++
+		if bj.dispatchUS < 0 {
+			bj.dispatchUS = s.now
+		}
+		bj.placement = r.kind
+		bj.instance = r.idx
+	}
+	s.batches++
+	r.inflight = b
+	s.observeQueue()
+	r.work <- b
+}
+
+// advance harvests every in-flight result, moves virtual time to the next
+// event (arrival, completion, or queue deadline) and processes everything
+// due at that instant. It returns false when the system has drained.
+func (s *scheduler) advance() bool {
+	const inf = int64(math.MaxInt64)
+
+	// Harvest: block-receive, in fixed resource order, the result of every
+	// busy resource. The workers have been running concurrently since
+	// dispatch; receiving in index order (never via select) keeps the loop
+	// deterministic.
+	busy := false
+	for _, r := range s.res {
+		if r.inflight == nil {
+			continue
+		}
+		busy = true
+		if r.inflight.doneUS == 0 {
+			b := <-r.done
+			b.doneUS = b.startUS + s.batchDuration(b, r)
+		}
+	}
+
+	next := inf
+	if len(s.future) > 0 {
+		next = s.future[0].arrivalUS
+	}
+	for _, r := range s.res {
+		if r.inflight != nil && r.inflight.doneUS < next {
+			next = r.inflight.doneUS
+		}
+	}
+	for _, q := range [][]*jobState{s.admit, s.waiting} {
+		for _, j := range q {
+			if d := j.deadlineUS(); d < next {
+				next = d
+			}
+		}
+	}
+	if next == inf {
+		if !busy {
+			// Queued jobs nothing can ever run (e.g. CPU-pinned jobs with
+			// no CPU workers): fail them rather than spin.
+			s.failUnschedulable(&s.admit)
+			s.failUnschedulable(&s.waiting)
+			return false
+		}
+		return true
+	}
+	s.now = next
+
+	// Completions first (they free resources), in resource order.
+	for _, r := range s.res {
+		if r.inflight != nil && r.inflight.doneUS == s.now {
+			s.complete(r)
+		}
+	}
+	// Then arrivals.
+	arrived := false
+	for len(s.future) > 0 && s.future[0].arrivalUS <= s.now {
+		s.waiting = append(s.waiting, s.future[0])
+		s.future = s.future[1:]
+		arrived = true
+	}
+	if arrived {
+		s.observeQueue()
+	}
+	// Then queue deadlines: cancellation beats dispatch at the same instant.
+	s.expire(&s.admit)
+	s.expire(&s.waiting)
+	return true
+}
+
+func (s *scheduler) failUnschedulable(q *[]*jobState) {
+	for _, j := range *q {
+		j.terminal = true
+		j.status = StatusFailed
+		j.doneUS = s.now
+		j.errMsg = "no resource can run this job"
+		s.count("sched.jobs_failed", 1)
+	}
+	*q = nil
+}
+
+func (s *scheduler) expire(q *[]*jobState) {
+	kept := (*q)[:0]
+	changed := false
+	for _, j := range *q {
+		if j.deadlineUS() > s.now {
+			kept = append(kept, j)
+			continue
+		}
+		changed = true
+		j.terminal = true
+		j.doneUS = s.now
+		if j.spec.TimeoutUS > 0 && j.spec.ArrivalUS+j.spec.TimeoutUS <= s.now {
+			j.status = StatusTimedOut
+			s.count("sched.jobs_timeout", 1)
+		} else {
+			j.status = StatusCancelled
+			s.count("sched.jobs_cancelled", 1)
+		}
+		j.placement = PlacedNone
+		j.instance = -1
+	}
+	*q = kept
+	if changed {
+		s.observeQueue()
+	}
+}
+
+// batchDuration converts a harvested batch into charged virtual time on
+// resource r and stamps per-job execution charges (b.durs).
+func (s *scheduler) batchDuration(b *batch, r *resource) int64 {
+	var total int64
+	if b.reconfig {
+		total += s.cfg.ReconfigUS
+	}
+	b.durs = make([]int64, len(b.jobs))
+	for i, j := range b.jobs {
+		var us int64
+		if r.kind == PlacedFPGA {
+			us = ceilDiv(j.out.cycles*1e6, int64(s.cfg.Platform.FPGAClockHz))
+			us = int64(float64(us) * r.straggle)
+		} else {
+			n := int64(j.spec.Rel.NumTuples)
+			us = s.cfg.CPUDispatchUS + ceilDiv(n*1e6, int64(s.cfg.CPURate))
+			if j.spec.Probe != nil {
+				us += ceilDiv(int64(j.spec.Probe.NumTuples)*1e6, int64(s.cfg.CPURate))
+			}
+		}
+		if j.spec.Probe != nil && j.out.ok {
+			us += ceilDiv((int64(j.spec.Rel.NumTuples)+int64(j.spec.Probe.NumTuples))*1e6, int64(s.cfg.JoinRate))
+		}
+		if b.aborted {
+			// The attempt stops part-way: charge the abort fraction.
+			us = int64(float64(us) * s.cfg.AbortFraction)
+		}
+		if us < 1 {
+			us = 1
+		}
+		b.durs[i] = us
+		j.execUS += us
+		total += us
+	}
+	if total < 1 {
+		total = 1
+	}
+	return total
+}
+
+// complete finalizes a harvested batch at the current virtual time: spans
+// and counters are emitted here, on the scheduler loop, in event order.
+func (s *scheduler) complete(r *resource) {
+	b := r.inflight
+	r.inflight = nil
+	r.busyUS += b.doneUS - b.startUS
+
+	if s.cfg.Trace != nil {
+		cursor := b.startUS
+		if b.reconfig {
+			s.cfg.Trace.Tracer.Span(r.comp, "reconfig", cursor, s.cfg.ReconfigUS)
+			cursor += s.cfg.ReconfigUS
+		}
+		for i, j := range b.jobs {
+			s.cfg.Trace.Tracer.Span(r.comp, fmt.Sprintf("job%d", j.id), cursor, b.durs[i])
+			cursor += b.durs[i]
+		}
+	}
+
+	if b.aborted {
+		if b.crash {
+			r.dead = true
+			s.ncrashes++
+			s.count("sched.fpga_crashes", 1)
+			if s.cfg.Trace != nil {
+				s.cfg.Trace.Tracer.Instant(r.comp, "crash", b.doneUS)
+			}
+		} else {
+			s.nfaults++
+			s.count("sched.fpga_faults", 1)
+			if s.cfg.Trace != nil {
+				s.cfg.Trace.Tracer.Instant(r.comp, "fault", b.doneUS)
+			}
+		}
+		for _, j := range b.jobs {
+			s.requeue(j, b.crash)
+		}
+		return
+	}
+
+	for _, j := range b.jobs {
+		switch {
+		case j.out.ok:
+			j.terminal = true
+			j.status = StatusDone
+			j.doneUS = b.doneUS
+			if j.doneUS > s.makespan {
+				s.makespan = j.doneUS
+			}
+			s.count("sched.jobs_done", 1)
+			if r.kind == PlacedFPGA {
+				s.count("sched.placed_fpga", 1)
+			} else {
+				s.count("sched.placed_cpu", 1)
+			}
+			if j.degraded {
+				s.count("sched.jobs_degraded", 1)
+			}
+			if s.cfg.Trace != nil {
+				s.cfg.Trace.Metrics.Histogram("sched.queue_wait_us").Observe(j.dispatchUS - j.arrivalUS)
+				s.cfg.Trace.Metrics.Histogram("sched.exec_us").Observe(j.execUS)
+			}
+		case j.out.overflow:
+			// PAD overflow: the circuit aborted this job; degrade to CPU,
+			// keeping the aborted attempt's charge (Section 5.4 semantics).
+			j.forceCPU = true
+			j.degraded = true
+			s.count("sched.overflow_degrades", 1)
+			s.requeueFront(j)
+		case r.kind == PlacedFPGA:
+			// Simulator fault on the FPGA run: degrade to CPU.
+			j.forceCPU = true
+			j.degraded = true
+			s.count("sched.sim_faults", 1)
+			s.requeueFront(j)
+		default:
+			// CPU execution failed: no further fallback.
+			j.terminal = true
+			j.status = StatusFailed
+			j.doneUS = b.doneUS
+			if j.doneUS > s.makespan {
+				s.makespan = j.doneUS
+			}
+			j.errMsg = j.out.errMsg
+			s.count("sched.jobs_failed", 1)
+		}
+	}
+}
+
+// requeue returns a fault- or crash-aborted job to the front of the
+// admission queue; once its FPGA retries are exhausted (or its instance
+// crashed with no healthy FPGA left) it is pinned to the CPU pool.
+func (s *scheduler) requeue(j *jobState, crash bool) {
+	s.retries++
+	s.count("sched.retries", 1)
+	if j.attempts > s.cfg.MaxFPGARetries || (crash && !s.anyFPGAAlive()) {
+		j.forceCPU = true
+		j.degraded = true
+	}
+	s.requeueFront(j)
+}
+
+func (s *scheduler) requeueFront(j *jobState) {
+	j.out = execOut{}
+	s.admit = append([]*jobState{j}, s.admit...)
+	s.observeQueue()
+}
+
+func (s *scheduler) anyFPGAAlive() bool {
+	for _, r := range s.res[:s.nfpg] {
+		if !r.dead {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *scheduler) report() *Report {
+	rep := &Report{MakespanUS: s.makespan}
+	var checksum uint32
+	for _, j := range s.jobs {
+		jr := JobResult{
+			ID:         j.id,
+			Status:     j.status,
+			Placement:  j.placement,
+			Instance:   j.instance,
+			Attempts:   j.attempts,
+			Degraded:   j.degraded,
+			ArrivalUS:  j.arrivalUS,
+			DispatchUS: j.dispatchUS,
+			DoneUS:     j.doneUS,
+			ExecUS:     j.execUS,
+			Tuples:     j.out.tuples,
+			Counts:     j.out.counts,
+			Offsets:    j.out.offsets,
+			Checksum:   j.out.checksum,
+			Matches:    j.out.matches,
+			Err:        j.errMsg,
+		}
+		if j.status == StatusDone {
+			jr.QueueWaitUS = j.dispatchUS - j.arrivalUS
+			checksum += j.out.checksum
+			switch j.placement {
+			case PlacedFPGA:
+				rep.PlacedFPGA++
+			case PlacedCPU:
+				rep.PlacedCPU++
+			}
+			if j.degraded {
+				rep.Degraded++
+			}
+		}
+		rep.Results = append(rep.Results, jr)
+	}
+	for _, r := range s.res[:s.nfpg] {
+		if r.dead {
+			rep.FailedInstances = append(rep.FailedInstances, r.idx)
+		}
+	}
+	if s.cfg.Trace != nil {
+		s.count("sched.makespan_us", s.makespan)
+		s.count("sched.batches", s.batches)
+		s.count("sched.reconfigs", s.reconfs)
+		s.count("sched.output_checksum", int64(checksum))
+		var busyF, busyC int64
+		for _, r := range s.res {
+			if r.kind == PlacedFPGA {
+				busyF += r.busyUS
+			} else {
+				busyC += r.busyUS
+			}
+		}
+		s.count("sched.busy_fpga_us", busyF)
+		s.count("sched.busy_cpu_us", busyC)
+	}
+	return rep
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic(fmt.Sprintf("partserver: ceilDiv by %d", b))
+	}
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+func max1(n int64) int64 {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
