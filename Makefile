@@ -59,7 +59,7 @@ bench:
 bench-gate:
 	$(GO) run ./cmd/perfbench run -out bench/out
 	@fail=0; \
-	for suite in partition join distjoin sched; do \
+	for suite in partition join distjoin sched memory; do \
 		$(GO) run ./cmd/perfbench compare bench/baseline/BENCH_$$suite.json bench/out/BENCH_$$suite.json || fail=1; \
 	done; \
 	exit $$fail
@@ -69,6 +69,11 @@ bench-gate:
 # raise FUZZTIME locally for a deeper session.
 FUZZTIME ?= 30s
 fuzz:
-	@for target in FuzzPartIndex FuzzBufferedPartition FuzzBufferedAgainstHistogram; do \
-		$(GO) test ./internal/cpupart -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
+	@for t in \
+		./internal/cpupart:FuzzPartIndex \
+		./internal/cpupart:FuzzBufferedPartition \
+		./internal/cpupart:FuzzBufferedAgainstHistogram \
+		./hashjoin:FuzzJoinUnderBudget; do \
+		pkg=$${t%%:*}; target=$${t##*:}; \
+		$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done

@@ -40,6 +40,7 @@ func main() {
 		vrid    = flag.Bool("vrid", false, "hybrid column-store (VRID) mode")
 		zipf    = flag.Float64("zipf", 0, "skew S with this Zipf factor (>0)")
 		seed    = flag.Int64("seed", 42, "generator seed")
+		budget  = flag.Int64("budget", 0, "join build memory budget in bytes (0 = unlimited; spills, recurses and broadcasts as needed, same result)")
 
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON to this file (hybrid or -nodes runs)")
 		metrics   = flag.Bool("metrics", false, "print the simtrace metrics summary after the run (hybrid or -nodes runs)")
@@ -104,15 +105,12 @@ func main() {
 		return
 	}
 
-	if sess != nil && *system != "hybrid" {
-		fatal(fmt.Errorf("-trace/-metrics require -system hybrid (the simulated FPGA partitioner) or -nodes"))
-	}
-
 	opts := hashjoin.Options{
-		Partitions: *parts,
-		Threads:    *threads,
-		Hash:       *hash,
-		Trace:      sess,
+		Partitions:        *parts,
+		Threads:           *threads,
+		Hash:              *hash,
+		Trace:             sess,
+		MemoryBudgetBytes: *budget,
 	}
 	var res *hashjoin.Result
 	switch *system {
@@ -156,6 +154,11 @@ func main() {
 	fmt.Printf("probe:         %v\n", res.Probe)
 	fmt.Printf("total:         %v  (%.1f Mtuples/s over |R|+|S|)\n",
 		res.Total, float64(spec.TuplesR+spec.TuplesS)/res.Total.Seconds()/1e6)
+	if m := res.Memory; m != nil {
+		fmt.Printf("memory:        budget %d B, high water %d B\n", m.BudgetBytes, m.HighWaterBytes)
+		fmt.Printf("adaptivity:    %d in-memory, %d reversed, %d spilled (%d B), %d recursions (depth %d), %d broadcasts (%d chunks)\n",
+			m.InMemory, m.Reversals, m.SpilledPartitions, m.SpilledBytes, m.Recursions, m.MaxDepth, m.Broadcasts, m.BroadcastChunks)
+	}
 	if res.CoherencePenalized {
 		fmt.Println("note:          build+probe includes the Table 1 snoop penalty")
 	}

@@ -39,6 +39,8 @@ func main() {
 		runCmd(os.Args[2:])
 	case "compare":
 		compareCmd(os.Args[2:])
+	case "curve":
+		curveCmd(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "perfbench: unknown subcommand %q\n", os.Args[1])
 		usage()
@@ -50,6 +52,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   perfbench run [-out dir] [-suite name] [-seed n] [-tuples n] [-host] [-cpuprofile f] [-memprofile f]
   perfbench compare [-md file] baseline.json current.json
+  perfbench curve [-md file] BENCH_memory.json
 `)
 }
 
@@ -57,7 +60,7 @@ func runCmd(args []string) {
 	fs := flag.NewFlagSet("perfbench run", flag.ExitOnError)
 	var (
 		out        = fs.String("out", ".", "directory for the BENCH_<suite>.json files")
-		suite      = fs.String("suite", "all", "suite to run (partition, join, distjoin, sched) or \"all\"")
+		suite      = fs.String("suite", "all", "suite to run (partition, join, distjoin, sched, memory) or \"all\"")
 		seed       = fs.Int64("seed", 0, "workload generator seed (0 = default 42)")
 		tuples     = fs.Int("tuples", 0, "partition-suite relation size (0 = default 32768)")
 		host       = fs.Bool("host", false, "attach the host meter: adds wall-clock/alloc info metrics (report no longer byte-stable)")
@@ -153,6 +156,59 @@ func compareCmd(args []string) {
 			}
 		}
 		os.Exit(1)
+	}
+}
+
+// curveCmd renders the memory suite's degradation curve — one row per
+// workload × budget cell, spill/recursion/broadcast behaviour across the
+// shrinking budget — as a markdown table (for the CI step summary).
+func curveCmd(args []string) {
+	fs := flag.NewFlagSet("perfbench curve", flag.ExitOnError)
+	md := fs.String("md", "", "append the markdown table to this file (default stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	rep, err := loadReport(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if rep.Suite != perfbench.SuiteMemory {
+		fatal(fmt.Errorf("%s holds suite %q, want %q", fs.Arg(0), rep.Suite, perfbench.SuiteMemory))
+	}
+
+	dst := os.Stdout
+	if *md != "" {
+		f, err := os.OpenFile(*md, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	get := func(rec perfbench.Record, name string) int64 {
+		m, _ := rec.Gated.Metrics.Get(name)
+		return m.Value
+	}
+	fmt.Fprintf(dst, "### Memory degradation curve (`%s`)\n\n", fs.Arg(0))
+	fmt.Fprintln(dst, "| scenario | matches | spilled B | spill read B | recursions | max depth | broadcasts | chunks | result drift |")
+	fmt.Fprintln(dst, "|---|---:|---:|---:|---:|---:|---:|---:|---|")
+	for _, rec := range rep.Records {
+		drift := "none"
+		if get(rec, "join.delta_matches_vs_unbudgeted") != 0 || get(rec, "join.delta_checksum_vs_unbudgeted") != 0 {
+			drift = "**DIVERGED**"
+		}
+		fmt.Fprintf(dst, "| %s | %d | %d | %d | %d | %d | %d | %d | %s |\n",
+			rec.Name,
+			get(rec, "join.matches"),
+			get(rec, "join.mem_spilled_bytes"),
+			get(rec, "join.mem_spill_read_bytes"),
+			get(rec, "join.mem_recursions"),
+			get(rec, "join.mem_max_depth"),
+			get(rec, "join.mem_broadcasts"),
+			get(rec, "join.mem_broadcast_chunks"),
+			drift)
 	}
 }
 

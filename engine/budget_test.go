@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+
+	"fpgapart/internal/joincore"
+)
+
+// skewedKeys builds a key set with duplicates and one heavy hitter covering
+// a quarter of the slice — the inputs that force a budgeted join to spill,
+// recurse, and broadcast.
+func skewedKeys(n int) (r, s []uint32) {
+	r = make([]uint32, n)
+	s = make([]uint32, n+n/2)
+	for i := range r {
+		r[i] = uint32(i % (n / 4))
+	}
+	for i := range s {
+		s[i] = uint32(i % (n / 2))
+	}
+	for i := 0; i < len(s)/4; i++ {
+		s[i*2] = 3
+	}
+	return r, s
+}
+
+func sorted(out []uint64) []uint64 {
+	c := append([]uint64(nil), out...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c
+}
+
+func TestHashJoinBudgetedMatchesUnbudgeted(t *testing.T) {
+	rKeys, sKeys := skewedKeys(2000)
+
+	ref := NewHashJoin(scanOf(t, rKeys), scanOf(t, sKeys), nil, 16, 2)
+	want, err := Collect(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Memory != nil {
+		t.Fatalf("unbudgeted join reported memory stats: %+v", ref.Memory)
+	}
+
+	buildBytes := int64(len(rKeys)) * joincore.BuildTupleBytes
+	for _, div := range []int64{1, 4, 10} {
+		join := NewHashJoin(scanOf(t, rKeys), scanOf(t, sKeys), nil, 16, 2)
+		join.MemoryBudgetBytes = buildBytes / div
+		got, err := Collect(join)
+		if err != nil {
+			t.Fatalf("budget 1/%d: %v", div, err)
+		}
+		// Budgeted tuple order follows the adaptive plan; compare as
+		// multisets.
+		gs, ws := sorted(got), sorted(want)
+		if len(gs) != len(ws) {
+			t.Fatalf("budget 1/%d: %d tuples, want %d", div, len(gs), len(ws))
+		}
+		for i := range gs {
+			if gs[i] != ws[i] {
+				t.Fatalf("budget 1/%d: tuple %d = %#x, want %#x", div, i, gs[i], ws[i])
+			}
+		}
+		if join.Memory == nil || join.Memory.BudgetBytes != buildBytes/div {
+			t.Fatalf("budget 1/%d: missing memory stats: %+v", div, join.Memory)
+		}
+	}
+
+	// A budget below every per-partition build footprint (~1/16 of the
+	// build side each) must visibly spill.
+	join := NewHashJoin(scanOf(t, rKeys), scanOf(t, sKeys), nil, 16, 2)
+	join.MemoryBudgetBytes = buildBytes / 20
+	if _, err := Collect(join); err != nil {
+		t.Fatal(err)
+	}
+	if join.Memory.SpilledPartitions == 0 {
+		t.Fatalf("1/10 budget on skew should spill, got %+v", join.Memory)
+	}
+}
+
+func TestHashJoinBudgetFromPlanner(t *testing.T) {
+	rKeys, sKeys := skewedKeys(1000)
+	planner := NewPlanner(PlannerConfig{
+		ForceCPU:          true,
+		Partitions:        16,
+		Threads:           2,
+		MemoryBudgetBytes: int64(len(rKeys)) * joincore.BuildTupleBytes / 8,
+	})
+	join := NewHashJoin(scanOf(t, rKeys), scanOf(t, sKeys), planner, 16, 2)
+	if _, err := Collect(join); err != nil {
+		t.Fatal(err)
+	}
+	if join.Memory == nil {
+		t.Fatal("planner-level MemoryBudgetBytes did not reach the join")
+	}
+	// The operator-level knob overrides the planner's.
+	join2 := NewHashJoin(scanOf(t, rKeys), scanOf(t, sKeys), planner, 16, 2)
+	join2.MemoryBudgetBytes = -1 // explicit unlimited
+	if _, err := Collect(join2); err != nil {
+		t.Fatal(err)
+	}
+	if join2.Memory != nil {
+		t.Fatalf("operator override to unlimited still budgeted: %+v", join2.Memory)
+	}
+}

@@ -7,7 +7,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fpgapart/hashjoin"
 	"fpgapart/internal/hashutil"
+	"fpgapart/internal/joincore"
+	"fpgapart/internal/membudget"
 	"fpgapart/partition"
 	"fpgapart/workload"
 )
@@ -23,6 +26,10 @@ type HashJoin struct {
 	threads      int
 	// Combine merges the payloads of a match (default: sum).
 	Combine func(buildPay, probePay uint32) uint32
+	// MemoryBudgetBytes caps this join's build memory; 0 falls back to the
+	// planner's MemoryBudgetBytes, ≤ 0 overall means unlimited. Set before
+	// Open.
+	MemoryBudgetBytes int64
 
 	out    []uint64
 	pos    int
@@ -30,6 +37,9 @@ type HashJoin struct {
 	// ChosenPartitioner records the planner's pick after Open, for
 	// inspection ("was this offloaded?").
 	ChosenPartitioner string
+	// Memory reports the adaptive behaviour of a budgeted join after Open;
+	// nil when no budget applied.
+	Memory *hashjoin.MemoryStats
 }
 
 // NewHashJoin joins build ⋈ probe on the tuple key. planner may be nil for
@@ -77,7 +87,16 @@ func (j *HashJoin) Open() error {
 	if psName != prName {
 		j.ChosenPartitioner = prName + " / " + psName
 	}
-	j.out, err = joinMaterialize(pr, ps, j.threads, j.Combine)
+	budget := j.MemoryBudgetBytes
+	if budget == 0 {
+		budget = planner.cfg.MemoryBudgetBytes
+	}
+	if budget > 0 {
+		j.out, j.Memory, err = joinMaterializeBudgeted(pr, ps, j.threads, budget, j.Combine)
+	} else {
+		j.Memory = nil
+		j.out, err = joinMaterialize(pr, ps, j.threads, j.Combine)
+	}
 	if err != nil {
 		return err
 	}
@@ -206,6 +225,56 @@ func joinMaterialize(r, s *partition.Result, threads int, combine func(a, b uint
 		out = append(out, o...)
 	}
 	return out, nil
+}
+
+// joinMaterializeBudgeted materializes the join under a memory budget by
+// running the budgeted executor with an emit callback. The emitted tuple
+// order within a partition follows the adaptive plan (spilled buckets emit
+// in recursion order), so budgeted output is order-stable for a given
+// budget but not byte-ordered like the unbudgeted path — the match multiset
+// is identical.
+func joinMaterializeBudgeted(r, s *partition.Result, threads int, budgetBytes int64, combine func(a, b uint32) uint32) ([]uint64, *hashjoin.MemoryStats, error) {
+	if r.NumPartitions() != s.NumPartitions() {
+		return nil, nil, fmt.Errorf("engine: fan-out mismatch %d vs %d", r.NumPartitions(), s.NumPartitions())
+	}
+	perPart := make([][]uint64, r.NumPartitions())
+	budget := membudget.New(budgetBytes)
+	spill := &membudget.SpillStore{}
+	_, stats, err := joincore.BudgetedBuildProbe(r, s, joincore.BudgetConfig{
+		Budget:  budget,
+		Spill:   spill,
+		Threads: threads,
+		// Each partition is joined by exactly one worker, so the appends
+		// to perPart[p] are race-free.
+		Emit: func(p int, key, rPay, sPay uint32) {
+			perPart[p] = append(perPart[p], uint64(combine(rPay, sPay))<<32|uint64(key))
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var total int
+	for _, o := range perPart {
+		total += len(o)
+	}
+	out := make([]uint64, 0, total)
+	for _, o := range perPart {
+		out = append(out, o...)
+	}
+	mem := &hashjoin.MemoryStats{
+		BudgetBytes:       budget.Cap(),
+		HighWaterBytes:    budget.HighWater(),
+		InMemory:          stats.InMemory,
+		Reversals:         stats.Reversals,
+		SpilledPartitions: stats.SpilledPartitions,
+		SpilledBytes:      stats.SpilledBytes,
+		SpillReadBytes:    spill.BytesRead(),
+		Recursions:        stats.Recursions,
+		MaxDepth:          stats.MaxDepth,
+		Broadcasts:        stats.Broadcasts,
+		BroadcastChunks:   stats.BroadcastChunks,
+	}
+	return out, mem, nil
 }
 
 // GroupBy is a blocking aggregation operator: it drains its child,

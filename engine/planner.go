@@ -40,6 +40,12 @@ type PlannerConfig struct {
 	ForceFPGA bool
 	// CalibrationTuples sizes the CPU micro-benchmark (default 1<<18).
 	CalibrationTuples int
+	// MemoryBudgetBytes caps each join build's memory: partitions whose
+	// build side exceeds it spill and are recursively repartitioned or
+	// broadcast, with results identical to the unconstrained join. ≤ 0
+	// means unlimited. HashJoin.MemoryBudgetBytes overrides it per
+	// operator.
+	MemoryBudgetBytes int64
 }
 
 // NewPlanner returns a planner.

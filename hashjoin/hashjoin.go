@@ -10,15 +10,48 @@
 package hashjoin
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"fpgapart/internal/hashutil"
 	"fpgapart/internal/joincore"
+	"fpgapart/internal/membudget"
 	"fpgapart/internal/simtrace"
 	"fpgapart/partition"
 	"fpgapart/platform"
 	"fpgapart/workload"
 )
+
+// ErrBadFanOut is reported (wrapped) when Options.Partitions is not a power
+// of two ≥ 2 — the fan-out contract of every partitioner in the repo —
+// instead of failing deep inside the partitioning pipeline. Test with
+// errors.Is(err, ErrBadFanOut).
+var ErrBadFanOut = errors.New("hashjoin: partitions must be a power of two ≥ 2")
+
+// ErrSimulatorFault is reported (wrapped) when an invariant violation inside
+// the simulator internals (joincore's budgeted executor, membudget's
+// accounting) panics during a join. The public entry points convert such
+// panics into errors, so a simulator bug degrades into a failed call instead
+// of crashing the process. Test with errors.Is(err, ErrSimulatorFault).
+var ErrSimulatorFault = errors.New("hashjoin: simulator invariant fault")
+
+// guardSimulator converts a panic escaping the simulator into an
+// ErrSimulatorFault-wrapping error. Used via defer with a named return.
+func guardSimulator(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: %v", ErrSimulatorFault, r)
+	}
+}
+
+// validateFanOut enforces the power-of-two fan-out contract at the API
+// boundary.
+func validateFanOut(n int) error {
+	if !hashutil.IsPowerOfTwo(n) || n < 2 {
+		return fmt.Errorf("hashjoin: Partitions = %d: %w", n, ErrBadFanOut)
+	}
+	return nil
+}
 
 // Options configures a join run.
 type Options struct {
@@ -38,10 +71,21 @@ type Options struct {
 	Layout partition.Layout
 	// PadFraction is the PAD-mode headroom of the FPGA partitioner.
 	PadFraction float64
-	// Trace attaches a simtrace session to the FPGA partitioner in Hybrid
-	// joins (cycle-level counters, phase spans, windowed samples); nil
-	// disables tracing. CPU and NonPartitioned joins ignore it.
+	// Trace attaches a simtrace session to the join: every path — CPU,
+	// Hybrid and NonPartitioned — emits the same "join" phase spans
+	// (partition_r, partition_s, build, probe), so degradation runs are
+	// comparable backend-to-backend. Hybrid joins additionally hand the
+	// session to the FPGA partitioner (cycle-level counters, circuit phase
+	// spans, windowed samples), and budgeted joins emit their
+	// spill/recurse/reverse/broadcast decisions. nil disables tracing.
 	Trace *simtrace.Session
+	// MemoryBudgetBytes caps the memory of each concurrent build: a
+	// partition whose build side exceeds it is spilled, recursively
+	// repartitioned with salted hashes, and — when a heavy hitter or the
+	// recursion depth cap makes splitting hopeless — joined by a chunked
+	// broadcast. Matches and Checksum are byte-identical to the
+	// unconstrained join for any budget. ≤ 0 means unlimited.
+	MemoryBudgetBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -82,7 +126,37 @@ type Result struct {
 	// on the CPU to keep the join exact.
 	DummyKeyRepartition bool
 
+	// Memory reports the adaptive behaviour of a budgeted join; nil when
+	// Options.MemoryBudgetBytes was unset.
+	Memory *MemoryStats
+
 	Threads int
+}
+
+// MemoryStats summarizes how a budgeted join adapted to its memory budget.
+type MemoryStats struct {
+	// BudgetBytes is the configured cap; HighWaterBytes is the peak
+	// concurrent reservation the sequential accounting replay observed.
+	BudgetBytes    int64
+	HighWaterBytes int64
+	// InMemory counts buckets joined without spilling (all depths).
+	InMemory int
+	// Reversals counts buckets that built on S because it was smaller.
+	Reversals int
+	// SpilledPartitions and SpilledBytes describe top-level partitions
+	// written to the spill store; SpillReadBytes is the total read back by
+	// recursive and broadcast passes.
+	SpilledPartitions int
+	SpilledBytes      int64
+	SpillReadBytes    int64
+	// Recursions counts salted repartitioning passes; MaxDepth is the
+	// deepest recursion level reached (bounded by the executor).
+	Recursions int
+	MaxDepth   int
+	// Broadcasts counts buckets joined by the chunked broadcast join, in
+	// BroadcastChunks budget-sized build chunks.
+	Broadcasts      int
+	BroadcastChunks int
 }
 
 // PartitionTime returns the combined partitioning time.
@@ -92,8 +166,11 @@ func (r *Result) PartitionTime() time.Duration { return r.PartitionR + r.Partiti
 func (r *Result) BuildProbeTime() time.Duration { return r.Build + r.Probe }
 
 // Join partitions R and S with the given partitioner and joins them. This is
-// the generic entry point; CPU and Hybrid are convenience wrappers.
-func Join(r, s *workload.Relation, p partition.Partitioner, opts Options) (*Result, error) {
+// the generic entry point; CPU and Hybrid are convenience wrappers. A panic
+// escaping the simulator internals surfaces as an error wrapping
+// ErrSimulatorFault.
+func Join(r, s *workload.Relation, p partition.Partitioner, opts Options) (_ *Result, err error) {
+	defer guardSimulator(&err)
 	opts = opts.withDefaults()
 	pr, err := p.Partition(r)
 	if err != nil {
@@ -111,7 +188,7 @@ func Join(r, s *workload.Relation, p partition.Partitioner, opts Options) (*Resu
 	if err != nil {
 		return nil, fmt.Errorf("hashjoin: repartitioning S: %w", err)
 	}
-	bp, err := joincore.BuildProbe(pr, ps, opts.Threads)
+	bp, mem, err := buildProbe(pr, ps, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -137,8 +214,105 @@ func Join(r, s *workload.Relation, p partition.Partitioner, opts Options) (*Resu
 		res.Probe = time.Duration(float64(bp.Probe) * m.ProbePenalty())
 		res.CoherencePenalized = true
 	}
+	res.Memory = mem
 	res.Total = res.PartitionR + res.PartitionS + res.Build + res.Probe
+	emitPhaseSpans(opts.Trace, res)
 	return res, nil
+}
+
+// buildProbe dispatches between the unconstrained and the budgeted
+// executors, converting budgeted-run stats into the public MemoryStats and
+// emitting the decision trace.
+func buildProbe(pr, ps joincore.Partitions, opts Options) (*joincore.Result, *MemoryStats, error) {
+	if opts.MemoryBudgetBytes <= 0 {
+		bp, err := joincore.BuildProbe(pr, ps, opts.Threads)
+		return bp, nil, err
+	}
+	budget := membudget.New(opts.MemoryBudgetBytes)
+	spill := &membudget.SpillStore{}
+	bp, stats, err := joincore.BudgetedBuildProbe(pr, ps, joincore.BudgetConfig{
+		Budget:  budget,
+		Spill:   spill,
+		Threads: opts.Threads,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	mem := memoryStats(budget, spill, stats)
+	emitMemoryTrace(opts.Trace, stats, mem)
+	return bp, mem, nil
+}
+
+// memoryStats folds the executor's stats and the accounting replay into the
+// public result shape.
+func memoryStats(budget *membudget.Budget, spill *membudget.SpillStore, stats *joincore.BudgetStats) *MemoryStats {
+	return &MemoryStats{
+		BudgetBytes:       budget.Cap(),
+		HighWaterBytes:    budget.HighWater(),
+		InMemory:          stats.InMemory,
+		Reversals:         stats.Reversals,
+		SpilledPartitions: stats.SpilledPartitions,
+		SpilledBytes:      stats.SpilledBytes,
+		SpillReadBytes:    spill.BytesRead(),
+		Recursions:        stats.Recursions,
+		MaxDepth:          stats.MaxDepth,
+		Broadcasts:        stats.Broadcasts,
+		BroadcastChunks:   stats.BroadcastChunks,
+	}
+}
+
+// emitPhaseSpans records the join's phase breakdown as "join" spans on a
+// microsecond timeline, for every backend. A nil session is a no-op.
+func emitPhaseSpans(sess *simtrace.Session, res *Result) {
+	if sess == nil {
+		return
+	}
+	ts := int64(0)
+	for _, ph := range []struct {
+		name string
+		dur  time.Duration
+	}{
+		{"partition_r", res.PartitionR},
+		{"partition_s", res.PartitionS},
+		{"build", res.Build},
+		{"probe", res.Probe},
+	} {
+		us := ph.dur.Microseconds()
+		sess.Tracer.Span("join", ph.name, ts, us)
+		ts += us
+	}
+}
+
+// emitMemoryTrace records every adaptive decision of a budgeted join as a
+// "join.mem" span — one per decision, in the executor's deterministic
+// order, on a virtual tuple-count timeline — plus the aggregate counters
+// the memory perfbench suite gates. Only budgeted joins emit these, so
+// unbudgeted baselines stay byte-identical.
+func emitMemoryTrace(sess *simtrace.Session, stats *joincore.BudgetStats, mem *MemoryStats) {
+	if sess == nil {
+		return
+	}
+	ts := int64(0)
+	for _, d := range stats.Decisions {
+		dur := d.BuildTuples + d.ProbeTuples
+		sess.Tracer.Span("join.mem", d.Action.String(), ts, dur)
+		if d.Reversed {
+			sess.Tracer.Instant("join.mem", "reverse", ts)
+		}
+		ts += dur
+	}
+	m := sess.Metrics
+	m.Gauge("join.mem_budget_bytes").Observe(mem.BudgetBytes)
+	m.Gauge("join.mem_high_water_bytes").Observe(mem.HighWaterBytes)
+	m.Gauge("join.mem_max_depth").Observe(int64(mem.MaxDepth))
+	m.Counter("join.mem_in_memory").Add(int64(mem.InMemory))
+	m.Counter("join.mem_reversals").Add(int64(mem.Reversals))
+	m.Counter("join.mem_spilled_partitions").Add(int64(mem.SpilledPartitions))
+	m.Counter("join.mem_spilled_bytes").Add(mem.SpilledBytes)
+	m.Counter("join.mem_spill_read_bytes").Add(mem.SpillReadBytes)
+	m.Counter("join.mem_recursions").Add(int64(mem.Recursions))
+	m.Counter("join.mem_broadcasts").Add(int64(mem.Broadcasts))
+	m.Counter("join.mem_broadcast_chunks").Add(int64(mem.BroadcastChunks))
 }
 
 // exactResult verifies that res exposes every input tuple to its consumers.
@@ -186,8 +360,12 @@ func exactResult(res *partition.Result, rel *workload.Relation, opts Options) (*
 
 // CPU runs the pure-CPU radix hash join: parallel software partitioning
 // (Code 2 with software-managed buffers) followed by build+probe.
-func CPU(r, s *workload.Relation, opts Options) (*Result, error) {
+func CPU(r, s *workload.Relation, opts Options) (_ *Result, err error) {
+	defer guardSimulator(&err)
 	opts = opts.withDefaults()
+	if err := validateFanOut(opts.Partitions); err != nil {
+		return nil, err
+	}
 	p, err := partition.NewCPU(partition.CPUOptions{
 		Partitions: opts.Partitions,
 		Hash:       opts.Hash,
@@ -201,8 +379,12 @@ func CPU(r, s *workload.Relation, opts Options) (*Result, error) {
 
 // Hybrid runs the paper's hybrid join: partitioning on the (simulated) FPGA,
 // build+probe on the CPU with the coherence penalty applied.
-func Hybrid(r, s *workload.Relation, opts Options) (*Result, error) {
+func Hybrid(r, s *workload.Relation, opts Options) (_ *Result, err error) {
+	defer guardSimulator(&err)
 	opts = opts.withDefaults()
+	if err := validateFanOut(opts.Partitions); err != nil {
+		return nil, err
+	}
 	p, err := partition.NewFPGA(partition.FPGAOptions{
 		Partitions:      opts.Partitions,
 		Hash:            opts.Hash,
@@ -220,20 +402,40 @@ func Hybrid(r, s *workload.Relation, opts Options) (*Result, error) {
 }
 
 // NonPartitioned runs the global-hash-table baseline join without any
-// partitioning phase.
-func NonPartitioned(r, s *workload.Relation, opts Options) (*Result, error) {
+// partitioning phase; Options.Partitions is ignored. Under a memory budget
+// the baseline's only graceful degradation is chunking the build side, with
+// a plan-time role reversal so the smaller side builds.
+func NonPartitioned(r, s *workload.Relation, opts Options) (_ *Result, err error) {
+	defer guardSimulator(&err)
 	opts = opts.withDefaults()
-	bp, err := joincore.NonPartitioned(r, s, opts.Threads)
-	if err != nil {
-		return nil, err
+	var bp *joincore.Result
+	var mem *MemoryStats
+	if opts.MemoryBudgetBytes > 0 {
+		budget := membudget.New(opts.MemoryBudgetBytes)
+		spill := &membudget.SpillStore{}
+		var stats *joincore.BudgetStats
+		bp, stats, err = joincore.NonPartitionedBudgeted(r, s, opts.Threads, budget, spill)
+		if err != nil {
+			return nil, err
+		}
+		mem = memoryStats(budget, spill, stats)
+		emitMemoryTrace(opts.Trace, stats, mem)
+	} else {
+		bp, err = joincore.NonPartitioned(r, s, opts.Threads)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return &Result{
+	res := &Result{
 		Matches:         bp.Matches,
 		Checksum:        bp.Checksum,
 		Build:           bp.Build,
 		Probe:           bp.Probe,
 		Total:           bp.Elapsed,
 		PartitionerName: "none",
+		Memory:          mem,
 		Threads:         bp.Threads,
-	}, nil
+	}
+	emitPhaseSpans(opts.Trace, res)
+	return res, nil
 }

@@ -66,6 +66,12 @@ type Config struct {
 	// Threads is the parallelism (≤ 0 means GOMAXPROCS).
 	Threads   int
 	Algorithm Algorithm
+	// Salt is XORed into the key before hashing, so a recursive
+	// repartitioning pass (membudget spill recovery) splits a bucket whose
+	// keys already agree on the parent's hash bits. Only effective with
+	// Hash — radix partitioning of key^salt permutes bucket labels without
+	// separating keys that share low bits — and zero for top-level passes.
+	Salt uint32
 }
 
 func (c *Config) withDefaults() Config {
@@ -135,9 +141,45 @@ func Partition(rel *workload.Relation, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// PartitionTuples partitions a raw slice of packed 8-byte tuples according
+// to cfg, without a Relation wrapper. It backs the recursive repartitioning
+// passes of the budgeted join, which operate on spilled tuple runs; src is
+// not modified.
+func PartitionTuples(src []uint64, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	var res *Result
+	var err error
+	switch cfg.Algorithm {
+	case Buffered:
+		res, err = bufferedPartition(src, cfg)
+	case Naive:
+		res, err = naivePartition(src, cfg)
+	case MultiPass:
+		res, err = multiPassPartition(src, cfg)
+	default:
+		return nil, fmt.Errorf("cpupart: unknown algorithm %v", cfg.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	res.Threads = cfg.Threads
+	return res, nil
+}
+
 // partIndex computes the partition of a packed tuple.
 func partIndex(t uint64, bits uint, hash bool) uint32 {
 	return hashutil.PartitionIndex32(uint32(t), bits, hash)
+}
+
+// index computes the partition of a packed tuple under the config's hash
+// function and salt.
+func (c Config) index(t uint64, bits uint) uint32 {
+	return hashutil.PartitionIndex32(uint32(t)^c.Salt, bits, c.Hash)
 }
 
 // chunkBounds splits n items into t contiguous chunks.
@@ -168,7 +210,7 @@ func bufferedPartition(src []uint64, cfg Config) (*Result, error) {
 			defer wg.Done()
 			h := make([]int64, p)
 			for _, tup := range src[bounds[t]:bounds[t+1]] {
-				h[partIndex(tup, bits, cfg.Hash)]++
+				h[cfg.index(tup, bits)]++
 			}
 			hists[t] = h
 		}(t)
@@ -208,7 +250,7 @@ func bufferedPartition(src []uint64, cfg Config) (*Result, error) {
 			fill := make([]uint8, p)
 			cur := cursors[t]
 			for _, tup := range src[bounds[t]:bounds[t+1]] {
-				i := partIndex(tup, bits, cfg.Hash)
+				i := cfg.index(tup, bits)
 				f := fill[i]
 				buf[int(i)*BufferTuples+int(f)] = tup
 				f++
@@ -253,7 +295,7 @@ func naivePartition(src []uint64, cfg Config) (*Result, error) {
 			defer wg.Done()
 			h := make([]int64, p)
 			for _, tup := range src[bounds[t]:bounds[t+1]] {
-				h[partIndex(tup, bits, cfg.Hash)]++
+				h[cfg.index(tup, bits)]++
 			}
 			hists[t] = h
 		}(t)
@@ -287,7 +329,7 @@ func naivePartition(src []uint64, cfg Config) (*Result, error) {
 			defer wg.Done()
 			cur := cursors[t]
 			for _, tup := range src[bounds[t]:bounds[t+1]] {
-				i := partIndex(tup, bits, cfg.Hash)
+				i := cfg.index(tup, bits)
 				dst[cur[i]] = tup
 				cur[i]++
 			}
@@ -315,7 +357,7 @@ func multiPassPartition(src []uint64, cfg Config) (*Result, error) {
 	cfg1 := cfg
 	cfg1.NumPartitions = coarse
 	first, err := partitionByIndex(src, cfg1.Threads, coarse, func(t uint64) uint32 {
-		return partIndex(t, bits, cfg.Hash) >> (bits - coarseBits)
+		return cfg.index(t, bits) >> (bits - coarseBits)
 	})
 	if err != nil {
 		return nil, err
@@ -338,7 +380,7 @@ func multiPassPartition(src []uint64, cfg Config) (*Result, error) {
 			lowBits := bits - coarseBits
 			hist := make([]int64, fine)
 			for _, tup := range seg {
-				hist[partIndex(tup, bits, cfg.Hash)&(1<<lowBits-1)]++
+				hist[cfg.index(tup, bits)&(1<<lowBits-1)]++
 			}
 			offs := make([]int64, fine+1)
 			for i := 0; i < fine; i++ {
@@ -346,7 +388,7 @@ func multiPassPartition(src []uint64, cfg Config) (*Result, error) {
 			}
 			cur := append([]int64(nil), offs[:fine]...)
 			for _, tup := range seg {
-				i := partIndex(tup, bits, cfg.Hash) & (1<<lowBits - 1)
+				i := cfg.index(tup, bits) & (1<<lowBits - 1)
 				out[cur[i]] = tup
 				cur[i]++
 			}

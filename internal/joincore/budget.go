@@ -1,0 +1,564 @@
+package joincore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpgapart/internal/cpupart"
+	"fpgapart/internal/hashutil"
+	"fpgapart/internal/membudget"
+)
+
+// BuildTupleBytes is the budgeted footprint of one build-side tuple: the
+// 8-byte packed tuple plus 8 bytes of bucket-chain state (head + next
+// slots, amortized).
+const BuildTupleBytes = 16
+
+// Defaults for BudgetConfig fields left zero.
+const (
+	// DefaultMaxDepth bounds recursive repartitioning; past it a bucket is
+	// broadcast-joined instead of split again.
+	DefaultMaxDepth = 4
+	// DefaultSubFanOut is the fan-out of one recursive repartitioning pass.
+	DefaultSubFanOut = 16
+	// DefaultHeavyHitterFraction routes a bucket to the broadcast join when
+	// one key holds at least this fraction of its build side.
+	DefaultHeavyHitterFraction = 0.5
+)
+
+// Action is one adaptive decision of the budgeted join.
+type Action int
+
+const (
+	// ActionInMemory joined the bucket with an ordinary in-budget build.
+	ActionInMemory Action = iota
+	// ActionSpill wrote an over-budget partition to the spill store.
+	ActionSpill
+	// ActionRecurse repartitioned a spilled bucket with a salted hash.
+	ActionRecurse
+	// ActionBroadcast block-joined a bucket in budget-sized build chunks.
+	ActionBroadcast
+)
+
+// String names the action for trace span labels.
+func (a Action) String() string {
+	switch a {
+	case ActionInMemory:
+		return "inmemory"
+	case ActionSpill:
+		return "spill"
+	case ActionRecurse:
+		return "recurse"
+	case ActionBroadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Decision records one adaptive choice, in the deterministic order the
+// executor made it. The hashjoin layer turns these into simtrace spans.
+type Decision struct {
+	// Partition is the top-level partition the bucket descends from.
+	Partition int
+	// Depth is the recursion depth: 0 for top-level partitions.
+	Depth  int
+	Action Action
+	// BuildTuples and ProbeTuples count valid tuples after role reversal:
+	// BuildTuples is the smaller side actually built on.
+	BuildTuples int64
+	ProbeTuples int64
+	// Reversed reports that the build side is S — a role reversal.
+	Reversed bool
+	// SpilledBytes is bytes written to the spill store (ActionSpill) or
+	// read back from it (ActionRecurse, ActionBroadcast).
+	SpilledBytes int64
+	// Chunks is the number of build chunks of a broadcast join.
+	Chunks int
+	// HeavyHitter marks a broadcast forced by the frequency sketch rather
+	// than by recursion depth or a bucket that refused to shrink.
+	HeavyHitter bool
+}
+
+// BudgetStats aggregates the adaptive behaviour of one budgeted join.
+type BudgetStats struct {
+	InMemory          int
+	Reversals         int
+	SpilledPartitions int
+	SpilledBytes      int64
+	Recursions        int
+	Broadcasts        int
+	BroadcastChunks   int
+	// MaxDepth is the deepest recursion level reached.
+	MaxDepth int
+	// Decisions lists every adaptive choice in partition-major order.
+	Decisions []Decision
+}
+
+// BudgetConfig configures BudgetedBuildProbe.
+type BudgetConfig struct {
+	// Budget caps concurrent build/partition memory; nil or unlimited
+	// reproduces the plain BuildProbe behaviour.
+	Budget *membudget.Budget
+	// Spill receives the simulated spill traffic; nil discards it.
+	Spill *membudget.SpillStore
+	// Threads is the partition-level parallelism (≤ 0 means GOMAXPROCS).
+	Threads int
+	// MaxDepth, SubFanOut and HeavyHitterFraction default to the package
+	// constants when zero.
+	MaxDepth            int
+	SubFanOut           int
+	HeavyHitterFraction float64
+	// Salt seeds the per-depth repartitioning salts.
+	Salt uint32
+	// Emit, when non-nil, receives every match of partition p with the
+	// original R payload first regardless of role reversal. Calls are
+	// sequential per partition; distinct partitions may emit concurrently.
+	Emit func(p int, key, rPay, sPay uint32)
+}
+
+func (c BudgetConfig) withDefaults() BudgetConfig {
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = DefaultMaxDepth
+	}
+	if c.SubFanOut <= 0 {
+		c.SubFanOut = DefaultSubFanOut
+	}
+	if c.HeavyHitterFraction <= 0 {
+		c.HeavyHitterFraction = DefaultHeavyHitterFraction
+	}
+	return c
+}
+
+// saltAt derives the repartitioning salt for one recursion depth. It is
+// never zero at depth ≥ 1, so a recursive pass hashes differently from the
+// top-level partitioner (whose low hash bits the bucket's keys agree on).
+func saltAt(base uint32, depth int) uint32 {
+	s := hashutil.Murmur32Finalizer(base ^ uint32(depth)*0x9E3779B9)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// BudgetedBuildProbe joins the partitions of R and S under a memory budget.
+// Partitions whose build side fits are joined in place (role-reversing so
+// the smaller side builds); the rest spill and are recursively repartitioned
+// with salted hashes, with heavy-hitter buckets and depth-capped buckets
+// routed to a chunked broadcast join. Matches and Checksum are byte-for-byte
+// identical to the unconstrained BuildProbe for any budget, because every
+// path joins the exact same multiset of tuple pairs.
+//
+// All adaptive decisions are functions of partition contents and the budget
+// cap alone — never of cross-partition timing — so same-seed runs decide,
+// count and spill identically at any thread count. Budget and spill-store
+// accounting is replayed sequentially in partition-major order after the
+// parallel join, keeping the high-water mark interleaving-free.
+func BudgetedBuildProbe(r, s Partitions, cfg BudgetConfig) (*Result, *BudgetStats, error) {
+	if r.NumPartitions() != s.NumPartitions() {
+		return nil, nil, fmt.Errorf("joincore: fan-out mismatch: R has %d partitions, S has %d", r.NumPartitions(), s.NumPartitions())
+	}
+	cfg = cfg.withDefaults()
+	numPartitions := r.NumPartitions()
+	perPart := make([][]Decision, numPartitions)
+
+	var next, matches int64
+	var checksum uint64
+	var buildNS, probeNS int64
+	var errOnce sync.Once
+	var runErr error
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var localMatches int64
+			var localSum uint64
+			var localBuild, localProbe int64
+			var scratch buildTable
+			for {
+				p := int(atomic.AddInt64(&next, 1)) - 1
+				if p >= numPartitions {
+					break
+				}
+				pj := partitionJoiner{cfg: cfg, part: p, scratch: &scratch}
+				if err := pj.run(r, s); err != nil {
+					errOnce.Do(func() { runErr = err })
+					break
+				}
+				perPart[p] = pj.decisions
+				localBuild += pj.buildNS
+				localProbe += pj.probeNS
+				localMatches += pj.matches
+				localSum += pj.checksum
+			}
+			atomic.AddInt64(&matches, localMatches)
+			atomic.AddUint64(&checksum, localSum)
+			atomic.AddInt64(&buildNS, localBuild)
+			atomic.AddInt64(&probeNS, localProbe)
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, nil, runErr
+	}
+	elapsed := time.Since(start)
+
+	stats := &BudgetStats{}
+	for _, ds := range perPart {
+		stats.Decisions = append(stats.Decisions, ds...)
+	}
+	replayAccounting(stats, cfg)
+
+	res := &Result{
+		Matches:  matches,
+		Checksum: checksum,
+		Elapsed:  elapsed,
+		Threads:  cfg.Threads,
+	}
+	if total := buildNS + probeNS; total > 0 {
+		res.Build = time.Duration(float64(elapsed) * float64(buildNS) / float64(total))
+		res.Probe = elapsed - res.Build
+	}
+	return res, stats, nil
+}
+
+// replayAccounting walks the decision list in its deterministic order and
+// replays every reservation against the budget and spill store, then folds
+// the list into the aggregate counters. Decisions were made against the cap
+// alone, so replaying sequentially reproduces exactly what a one-partition-
+// at-a-time executor would have reserved.
+func replayAccounting(stats *BudgetStats, cfg BudgetConfig) {
+	b, sp := cfg.Budget, cfg.Spill
+	// One write-combining line per side stages spill writes.
+	const spillBufBytes = 2 * cpupart.BufferTuples * 8
+	scatterBytes := int64(2 * cfg.SubFanOut * cpupart.BufferTuples * 8)
+	chunkCap := chunkTuples(b)
+	for _, d := range stats.Decisions {
+		if d.Depth > stats.MaxDepth {
+			stats.MaxDepth = d.Depth
+		}
+		if d.Reversed {
+			stats.Reversals++
+		}
+		switch d.Action {
+		case ActionInMemory:
+			stats.InMemory++
+			n := d.BuildTuples * BuildTupleBytes
+			b.MustReserve(membudget.ClassBuild, n)
+			b.Release(membudget.ClassBuild, n)
+		case ActionSpill:
+			stats.SpilledPartitions++
+			stats.SpilledBytes += d.SpilledBytes
+			b.MustReserve(membudget.ClassSpill, spillBufBytes)
+			b.Release(membudget.ClassSpill, spillBufBytes)
+			sp.Write(d.SpilledBytes)
+		case ActionRecurse:
+			stats.Recursions++
+			sp.Read(d.SpilledBytes)
+			b.MustReserve(membudget.ClassPartition, scatterBytes)
+			b.Release(membudget.ClassPartition, scatterBytes)
+			sp.Write(d.SpilledBytes)
+		case ActionBroadcast:
+			stats.Broadcasts++
+			stats.BroadcastChunks += d.Chunks
+			sp.Read(d.SpilledBytes)
+			left := d.BuildTuples
+			for c := 0; c < d.Chunks; c++ {
+				n := chunkCap
+				if left < n {
+					n = left
+				}
+				left -= n
+				// A broadcast chunk is the allocation the join cannot
+				// avoid; MustReserve keeps the high-water mark honest
+				// when even one chunk overshoots a tiny budget.
+				b.MustReserve(membudget.ClassBuild, n*BuildTupleBytes)
+				b.Release(membudget.ClassBuild, n*BuildTupleBytes)
+			}
+		}
+	}
+}
+
+// chunkTuples is the build-chunk size of the broadcast join: as many tuples
+// as fit the budget, and at least one.
+func chunkTuples(b *membudget.Budget) int64 {
+	if !b.Limited() {
+		return 1 << 30
+	}
+	n := b.Cap() / BuildTupleBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// partitionJoiner joins one top-level partition pair, recording its
+// decisions. It runs entirely on one worker goroutine.
+type partitionJoiner struct {
+	cfg       BudgetConfig
+	part      int
+	scratch   *buildTable
+	decisions []Decision
+	matches   int64
+	checksum  uint64
+	buildNS   int64
+	probeNS   int64
+}
+
+func (pj *partitionJoiner) fits(buildTuples int64) bool {
+	b := pj.cfg.Budget
+	return !b.Limited() || buildTuples*BuildTupleBytes <= b.Cap()
+}
+
+func (pj *partitionJoiner) emit(key, bPay, pPay uint32, rIsBuild bool) {
+	if pj.cfg.Emit == nil {
+		return
+	}
+	if rIsBuild {
+		pj.cfg.Emit(pj.part, key, bPay, pPay)
+	} else {
+		pj.cfg.Emit(pj.part, key, pPay, bPay)
+	}
+}
+
+func (pj *partitionJoiner) run(r, s Partitions) error {
+	p := pj.part
+	nR := countValid(r, p)
+	nS := countValid(s, p)
+	if nR == 0 || nS == 0 {
+		pj.decisions = append(pj.decisions, Decision{
+			Partition: p, Action: ActionInMemory, BuildTuples: min64(nR, nS), ProbeTuples: max64(nR, nS),
+		})
+		return nil
+	}
+	build, probe, reversed := r, s, false
+	nBuild, nProbe := nR, nS
+	if nS < nR {
+		build, probe, reversed = s, r, true
+		nBuild, nProbe = nS, nR
+	}
+	if pj.fits(nBuild) {
+		pj.decisions = append(pj.decisions, Decision{
+			Partition: p, Action: ActionInMemory,
+			BuildTuples: nBuild, ProbeTuples: nProbe, Reversed: reversed,
+		})
+		t0 := time.Now()
+		pj.scratch.build(build, p)
+		t1 := time.Now()
+		pj.probeParts(build, probe, p, !reversed)
+		pj.buildNS += t1.Sub(t0).Nanoseconds()
+		pj.probeNS += time.Since(t1).Nanoseconds()
+		return nil
+	}
+	// Over budget: spill both sides as packed tuple runs and go adaptive.
+	rs := collect(r, p)
+	ss := collect(s, p)
+	pj.decisions = append(pj.decisions, Decision{
+		Partition: p, Action: ActionSpill,
+		BuildTuples: nBuild, ProbeTuples: nProbe, Reversed: reversed,
+		SpilledBytes: 8 * (nR + nS),
+	})
+	return pj.joinSpilled(rs, ss, 1)
+}
+
+// joinSpilled joins one spilled bucket: in memory if the (possibly
+// reversed) build side now fits, by broadcast when recursion is hopeless,
+// and by salted recursive repartitioning otherwise.
+func (pj *partitionJoiner) joinSpilled(rs, ss []uint64, depth int) error {
+	if len(rs) == 0 || len(ss) == 0 {
+		return nil
+	}
+	build, probe, rIsBuild := rs, ss, true
+	if len(ss) < len(rs) {
+		build, probe, rIsBuild = ss, rs, false
+	}
+	nBuild, nProbe := int64(len(build)), int64(len(probe))
+	d := Decision{
+		Partition: pj.part, Depth: depth,
+		BuildTuples: nBuild, ProbeTuples: nProbe, Reversed: !rIsBuild,
+	}
+	if pj.fits(nBuild) {
+		d.Action = ActionInMemory
+		pj.decisions = append(pj.decisions, d)
+		pj.joinSlices(build, probe, rIsBuild)
+		return nil
+	}
+
+	_, hhCount := heavyHitter(build)
+	hot := float64(hhCount) >= pj.cfg.HeavyHitterFraction*float64(nBuild) ||
+		(pj.cfg.Budget.Limited() && hhCount*BuildTupleBytes > pj.cfg.Budget.Cap())
+	if hot || depth > pj.cfg.MaxDepth {
+		d.Action = ActionBroadcast
+		d.HeavyHitter = hot
+		d.SpilledBytes = 8 * (int64(len(rs)) + int64(len(ss)))
+		d.Chunks = pj.broadcast(build, probe, rIsBuild)
+		pj.decisions = append(pj.decisions, d)
+		return nil
+	}
+
+	d.Action = ActionRecurse
+	d.SpilledBytes = 8 * (int64(len(rs)) + int64(len(ss)))
+	pj.decisions = append(pj.decisions, d)
+	sub := cpupart.Config{
+		NumPartitions: pj.cfg.SubFanOut,
+		Hash:          true,
+		Threads:       1,
+		Salt:          saltAt(pj.cfg.Salt, depth),
+	}
+	pr, err := cpupart.PartitionTuples(rs, sub)
+	if err != nil {
+		return fmt.Errorf("joincore: repartitioning spilled bucket: %w", err)
+	}
+	ps, err := cpupart.PartitionTuples(ss, sub)
+	if err != nil {
+		return fmt.Errorf("joincore: repartitioning spilled bucket: %w", err)
+	}
+	for q := 0; q < sub.NumPartitions; q++ {
+		subR, subS := pr.Partition(q), ps.Partition(q)
+		if len(subR) == 0 || len(subS) == 0 {
+			continue
+		}
+		if len(subR) == len(rs) && len(subS) == len(ss) {
+			// The salt failed to split this bucket (e.g. a single key):
+			// recursing again would loop, so broadcast it now.
+			b, pb, rb := subR, subS, true
+			if len(subS) < len(subR) {
+				b, pb, rb = subS, subR, false
+			}
+			bd := Decision{
+				Partition: pj.part, Depth: depth + 1, Action: ActionBroadcast,
+				BuildTuples: int64(len(b)), ProbeTuples: int64(len(pb)), Reversed: !rb,
+				SpilledBytes: 8 * (int64(len(subR)) + int64(len(subS))),
+			}
+			bd.Chunks = pj.broadcast(b, pb, rb)
+			pj.decisions = append(pj.decisions, bd)
+			continue
+		}
+		if err := pj.joinSpilled(subR, subS, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// joinSlices is the in-memory join of two packed tuple runs.
+func (pj *partitionJoiner) joinSlices(build, probe []uint64, rIsBuild bool) {
+	t0 := time.Now()
+	pj.scratch.build(slotSlice(build), 0)
+	t1 := time.Now()
+	bt := pj.scratch
+	for _, t := range probe {
+		key, pPay := uint32(t), uint32(t>>32)
+		for slot := bt.head[bt.bucketOf(key)]; slot != 0; {
+			j := int(slot - 1)
+			bt2 := build[j]
+			if uint32(bt2) == key {
+				pj.matches++
+				bPay := uint32(bt2 >> 32)
+				pj.checksum += uint64(bPay) + uint64(pPay)
+				pj.emit(key, bPay, pPay, rIsBuild)
+			}
+			slot = bt.next[j]
+		}
+	}
+	pj.buildNS += t1.Sub(t0).Nanoseconds()
+	pj.probeNS += time.Since(t1).Nanoseconds()
+}
+
+// broadcast block-joins a bucket whose build side cannot be split: build
+// chunks sized to the budget, each probed with the full probe side. Exact
+// for any input, at the cost of len(probe) passes per chunk.
+func (pj *partitionJoiner) broadcast(build, probe []uint64, rIsBuild bool) (chunks int) {
+	c := chunkTuples(pj.cfg.Budget)
+	for lo := int64(0); lo < int64(len(build)); lo += c {
+		hi := lo + c
+		if hi > int64(len(build)) {
+			hi = int64(len(build))
+		}
+		pj.joinSlices(build[lo:hi], probe, rIsBuild)
+		chunks++
+	}
+	return chunks
+}
+
+// probeParts probes the build table with the probe side of partition p,
+// emitting matches. rIsBuild tells emit which payload belongs to R.
+func (pj *partitionJoiner) probeParts(build, probe Partitions, p int, rIsBuild bool) {
+	bt := pj.scratch
+	n := probe.SlotCount(p)
+	for i := 0; i < n; i++ {
+		key, pPay, ok := probe.Slot(p, i)
+		if !ok {
+			continue
+		}
+		for slot := bt.head[bt.bucketOf(key)]; slot != 0; {
+			j := int(slot - 1)
+			bKey, bPay, _ := build.Slot(p, j)
+			if bKey == key {
+				pj.matches++
+				pj.checksum += uint64(bPay) + uint64(pPay)
+				pj.emit(key, bPay, pPay, rIsBuild)
+			}
+			slot = bt.next[j]
+		}
+	}
+}
+
+// slotSlice adapts a packed tuple run to the Partitions interface so the
+// shared buildTable can chain over it.
+type slotSlice []uint64
+
+func (s slotSlice) NumPartitions() int  { return 1 }
+func (s slotSlice) SlotCount(p int) int { return len(s) }
+func (s slotSlice) Slot(p, i int) (key, payload uint32, ok bool) {
+	t := s[i]
+	return uint32(t), uint32(t >> 32), true
+}
+
+// countValid counts the non-dummy tuples of partition p.
+func countValid(ps Partitions, p int) int64 {
+	var n int64
+	sc := ps.SlotCount(p)
+	for i := 0; i < sc; i++ {
+		if _, _, ok := ps.Slot(p, i); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// collect gathers the valid tuples of partition p as packed uint64s.
+func collect(ps Partitions, p int) []uint64 {
+	sc := ps.SlotCount(p)
+	out := make([]uint64, 0, sc)
+	for i := 0; i < sc; i++ {
+		key, pay, ok := ps.Slot(p, i)
+		if !ok {
+			continue
+		}
+		out = append(out, uint64(key)|uint64(pay)<<32)
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,217 @@
+package joincore
+
+import (
+	"reflect"
+	"testing"
+
+	"fpgapart/internal/membudget"
+)
+
+// budgetedMust runs BudgetedBuildProbe and fails the test on error.
+func budgetedMust(t *testing.T, r, s Partitions, cfg BudgetConfig) (*Result, *BudgetStats) {
+	t.Helper()
+	res, stats, err := BudgetedBuildProbe(r, s, cfg)
+	if err != nil {
+		t.Fatalf("BudgetedBuildProbe: %v", err)
+	}
+	return res, stats
+}
+
+// buildBytes returns the unconstrained build-side footprint of r.
+func buildBytes(r Partitions) int64 {
+	var n int64
+	for p := 0; p < r.NumPartitions(); p++ {
+		n += countValid(r, p)
+	}
+	return n * BuildTupleBytes
+}
+
+func TestBudgetedMatchesUnconstrained(t *testing.T) {
+	rKeys := randKeys(600, 10)
+	sKeys := randKeys(900, 11)
+	// A heavy hitter: one key takes over a third of the probe side.
+	for i := 0; i < 300; i++ {
+		sKeys[i] = 7
+	}
+	r := partitionKeys(rKeys, 8, 4)
+	s := partitionKeys(sKeys, 8, 6)
+	want, err := BuildProbe(r, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := buildBytes(r)
+	for _, frac := range []int64{0, 100, 50, 25, 10, 1} {
+		var budget *membudget.Budget
+		if frac > 0 {
+			budget = membudget.New(total * frac / 100)
+		}
+		res, stats := budgetedMust(t, r, s, BudgetConfig{Budget: budget, Threads: 2})
+		if res.Matches != want.Matches || res.Checksum != want.Checksum {
+			t.Fatalf("budget %d%%: got %d/%#x, want %d/%#x (stats %+v)",
+				frac, res.Matches, res.Checksum, want.Matches, want.Checksum, stats)
+		}
+	}
+}
+
+func TestBudgetedIsDeterministicAcrossThreads(t *testing.T) {
+	rKeys := randKeys(800, 20)
+	sKeys := randKeys(500, 21)
+	r := partitionKeys(rKeys, 4, 0)
+	s := partitionKeys(sKeys, 4, 0)
+	// The cap gates each partition's build side; an eighth of the total
+	// build footprint is below every per-partition footprint, so this
+	// spills — and S is the smaller side, so it also role-reverses.
+	budgetBytes := buildBytes(s) / 8
+	var wantStats *BudgetStats
+	var wantHigh int64
+	for _, threads := range []int{1, 4, 7} {
+		cfg := BudgetConfig{Budget: membudget.New(budgetBytes), Spill: &membudget.SpillStore{}, Threads: threads}
+		_, stats := budgetedMust(t, r, s, cfg)
+		if wantStats == nil {
+			wantStats, wantHigh = stats, cfg.Budget.HighWater()
+			continue
+		}
+		if !reflect.DeepEqual(stats, wantStats) {
+			t.Fatalf("threads=%d changed the decision log:\n%+v\nvs\n%+v", threads, stats, wantStats)
+		}
+		if cfg.Budget.HighWater() != wantHigh {
+			t.Fatalf("threads=%d changed the high-water mark: %d vs %d", threads, cfg.Budget.HighWater(), wantHigh)
+		}
+	}
+	if wantStats.SpilledPartitions == 0 {
+		t.Fatalf("expected spilling at 20%% budget, got %+v", wantStats)
+	}
+}
+
+func TestBudgetedDepthIsBounded(t *testing.T) {
+	rKeys := randKeys(2000, 30)
+	sKeys := randKeys(2000, 31)
+	r := partitionKeys(rKeys, 4, 0)
+	s := partitionKeys(sKeys, 4, 0)
+	cfg := BudgetConfig{
+		// One tuple of budget: no bucket with a duplicate key ever fits,
+		// so recursion must hit the depth cap and broadcast.
+		Budget:   membudget.New(BuildTupleBytes),
+		MaxDepth: 2,
+		Threads:  2,
+	}
+	want, err := BuildProbe(r, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats := budgetedMust(t, r, s, cfg)
+	if res.Matches != want.Matches || res.Checksum != want.Checksum {
+		t.Fatalf("tiny budget changed the result: %d/%#x vs %d/%#x", res.Matches, res.Checksum, want.Matches, want.Checksum)
+	}
+	// A no-shrink bucket may broadcast one level past MaxDepth, never more.
+	if stats.MaxDepth > cfg.MaxDepth+1 {
+		t.Fatalf("recursion reached depth %d with MaxDepth %d", stats.MaxDepth, cfg.MaxDepth)
+	}
+	if stats.Broadcasts == 0 {
+		t.Fatalf("expected depth-capped broadcasts, got %+v", stats)
+	}
+}
+
+func TestBudgetedHeavyHitterBroadcasts(t *testing.T) {
+	// Every R key identical: no salt can split the bucket, only the
+	// sketch-triggered broadcast terminates it.
+	n := 600
+	rKeys := make([]uint32, n)
+	sKeys := make([]uint32, n)
+	for i := range rKeys {
+		rKeys[i] = 42
+		sKeys[i] = 42
+	}
+	r := partitionKeys(rKeys, 4, 0)
+	s := partitionKeys(sKeys, 4, 0)
+	cfg := BudgetConfig{Budget: membudget.New(int64(n) * BuildTupleBytes / 4), Threads: 1}
+	res, stats := budgetedMust(t, r, s, cfg)
+	if want := int64(n) * int64(n); res.Matches != want {
+		t.Fatalf("cross product = %d matches, want %d", res.Matches, want)
+	}
+	if stats.Broadcasts == 0 || stats.BroadcastChunks < 2 {
+		t.Fatalf("heavy hitter should broadcast in chunks, got %+v", stats)
+	}
+	for _, d := range stats.Decisions {
+		if d.Action == ActionBroadcast && !d.HeavyHitter {
+			t.Fatalf("broadcast not attributed to the heavy hitter: %+v", d)
+		}
+		if d.Action == ActionRecurse {
+			t.Fatalf("single-key bucket should never recurse: %+v", d)
+		}
+	}
+}
+
+func TestBudgetedEmitPreservesSides(t *testing.T) {
+	// R payloads are offset so emitted (rPay, sPay) sides are checkable
+	// even under role reversal (S is the smaller, build, side).
+	const offset = 1 << 20
+	rKeys := randKeys(500, 40)
+	sKeys := randKeys(200, 41)
+	r := partitionKeys(rKeys, 8, 0)
+	s := partitionKeys(sKeys, 8, 0)
+	for p := range r.parts {
+		for i := range r.parts[p] {
+			r.parts[p][i].payload += offset
+		}
+	}
+	var emitted int64
+	var sum uint64
+	cfg := BudgetConfig{
+		Budget:  membudget.New(buildBytes(s) / 3),
+		Threads: 1,
+		Emit: func(p int, key, rPay, sPay uint32) {
+			if rPay < offset || sPay >= offset {
+				panic("emit swapped the payload sides")
+			}
+			emitted++
+			sum += uint64(rPay) + uint64(sPay)
+		},
+	}
+	res, stats := budgetedMust(t, r, s, cfg)
+	if emitted != res.Matches || sum != res.Checksum {
+		t.Fatalf("emit saw %d/%#x, result says %d/%#x", emitted, sum, res.Matches, res.Checksum)
+	}
+	if stats.Reversals == 0 {
+		t.Fatalf("S smaller than R should role-reverse, got %+v", stats)
+	}
+}
+
+func TestBudgetedAccounting(t *testing.T) {
+	rKeys := randKeys(1500, 50)
+	sKeys := randKeys(1500, 51)
+	r := partitionKeys(rKeys, 4, 0)
+	s := partitionKeys(sKeys, 4, 0)
+	budget := membudget.New(buildBytes(r) / 8)
+	spill := &membudget.SpillStore{}
+	_, stats := budgetedMust(t, r, s, BudgetConfig{Budget: budget, Spill: spill, Threads: 3})
+	if stats.SpilledBytes == 0 || spill.BytesWritten() < stats.SpilledBytes {
+		t.Fatalf("spill accounting inconsistent: stats %d, store wrote %d", stats.SpilledBytes, spill.BytesWritten())
+	}
+	if spill.BytesRead() == 0 || spill.Segments() == 0 {
+		t.Fatalf("spilled buckets were never read back: %+v", spill)
+	}
+	if budget.HighWater() == 0 || budget.Total(membudget.ClassBuild) == 0 {
+		t.Fatalf("budget saw no reservations: high %d", budget.HighWater())
+	}
+	if budget.InUse() != 0 {
+		t.Fatalf("join left %d bytes reserved", budget.InUse())
+	}
+}
+
+func TestHeavyHitterSketch(t *testing.T) {
+	tuples := make([]uint64, 0, 1000)
+	for i := 0; i < 700; i++ {
+		tuples = append(tuples, uint64(99)|uint64(i)<<32)
+	}
+	for i := 0; i < 300; i++ {
+		tuples = append(tuples, uint64(i%50)|uint64(i)<<32)
+	}
+	key, count := heavyHitter(tuples)
+	if key != 99 || count != 700 {
+		t.Fatalf("heavyHitter = key %d count %d, want 99/700", key, count)
+	}
+	if k, c := heavyHitter(nil); k != 0 || c != 0 {
+		t.Fatalf("empty stream should have no hitter, got %d/%d", k, c)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fpgapart/internal/hashutil"
+	"fpgapart/internal/membudget"
 	"fpgapart/workload"
 )
 
@@ -103,4 +104,69 @@ func NonPartitioned(r, s *workload.Relation, threads int) (*Result, error) {
 		Probe:    elapsed - buildDone.Sub(start),
 		Threads:  threads,
 	}, nil
+}
+
+// NonPartitionedBudgeted is the global-table baseline under a memory
+// budget. The smaller side builds (role reversal at plan time); if even
+// that side exceeds the budget, the join degrades to budget-sized build
+// chunks, each probed with the full other side — there are no partitions
+// to spill, so chunking is the only graceful degradation available to this
+// baseline. Matches and Checksum equal NonPartitioned's for any budget.
+func NonPartitionedBudgeted(r, s *workload.Relation, threads int, budget *membudget.Budget, spill *membudget.SpillStore) (*Result, *BudgetStats, error) {
+	build, probe, reversed := r, s, false
+	if s.NumTuples < r.NumTuples {
+		build, probe, reversed = s, r, true
+	}
+	nBuild, nProbe := int64(build.NumTuples), int64(probe.NumTuples)
+	cfg := BudgetConfig{Budget: budget, Spill: spill, Threads: threads}.withDefaults()
+	stats := &BudgetStats{}
+	if !budget.Limited() || nBuild*BuildTupleBytes <= budget.Cap() {
+		stats.Decisions = append(stats.Decisions, Decision{
+			Action: ActionInMemory, BuildTuples: nBuild, ProbeTuples: nProbe, Reversed: reversed,
+		})
+		res, err := NonPartitioned(build, probe, threads)
+		if err != nil {
+			return nil, nil, err
+		}
+		replayAccounting(stats, cfg)
+		return res, stats, nil
+	}
+
+	// Chunked build: stage the packed sides through the spill store, then
+	// run the broadcast joiner single-threaded (one global "partition").
+	bs := packRelation(build)
+	ps := packRelation(probe)
+	spilled := 8 * (nBuild + nProbe)
+	start := time.Now()
+	pj := partitionJoiner{cfg: cfg, scratch: &buildTable{}}
+	chunks := pj.broadcast(bs, ps, !reversed)
+	elapsed := time.Since(start)
+	stats.Decisions = append(stats.Decisions,
+		Decision{Action: ActionSpill, BuildTuples: nBuild, ProbeTuples: nProbe,
+			Reversed: reversed, SpilledBytes: spilled},
+		Decision{Action: ActionBroadcast, Depth: 1, BuildTuples: nBuild, ProbeTuples: nProbe,
+			Reversed: reversed, SpilledBytes: spilled, Chunks: chunks},
+	)
+	replayAccounting(stats, cfg)
+	res := &Result{
+		Matches:  pj.matches,
+		Checksum: pj.checksum,
+		Elapsed:  elapsed,
+		Threads:  1,
+	}
+	if total := pj.buildNS + pj.probeNS; total > 0 {
+		res.Build = time.Duration(float64(elapsed) * float64(pj.buildNS) / float64(total))
+		res.Probe = elapsed - res.Build
+	}
+	return res, stats, nil
+}
+
+// packRelation materializes a relation's (key, payload) pairs as packed
+// uint64 tuples for the chunked joiner.
+func packRelation(rel *workload.Relation) []uint64 {
+	out := make([]uint64, rel.NumTuples)
+	for i := 0; i < rel.NumTuples; i++ {
+		out[i] = uint64(rel.Key(i)) | uint64(rel.Payload(i))<<32
+	}
+	return out
 }

@@ -30,6 +30,7 @@ var DeterministicPathPackages = []string{
 	"fpgapart/internal/qpi",
 	"fpgapart/internal/simtrace",
 	"fpgapart/internal/perfbench",
+	"fpgapart/internal/membudget",
 	"fpgapart/partition",
 	"fpgapart/distjoin",
 	"fpgapart/partserver",

@@ -156,6 +156,42 @@ func TestPanicBoundaryFixture(t *testing.T) {
 	}
 }
 
+// TestMembudgetFixture pins the memory-budget accounting to the determinism
+// contract: internal/membudget joined the deterministic path in the
+// budgeted-join work, and this known-bad twin shows the analyzer catches a
+// wall-clock high-water stamp, map-ordered spill victims, and randomized
+// admission.
+func TestMembudgetFixture(t *testing.T) {
+	pkg := loadFixture(t, "membudgetfix")
+	det := &Determinism{Paths: map[string]bool{pkg.Path: true}}
+	findings := checkFixture(t, pkg, []Analyzer{det})
+	assertFinding(t, findings, "determinism", "time.Now")
+	assertFinding(t, findings, "determinism", "range over map")
+	assertFinding(t, findings, "determinism", "rand.")
+	if len(findings) < 3 {
+		t.Fatalf("determinism caught %d violations in the membudget fixture, want ≥ 3", len(findings))
+	}
+}
+
+// TestBudgetPackagesCovered pins the list membership the budgeted join
+// relies on: membudget is on the deterministic path, and hashjoin — whose
+// exported joins now reach internal/* budget machinery — is a
+// panic-boundary package.
+func TestBudgetPackagesCovered(t *testing.T) {
+	onPath := false
+	for _, p := range DeterministicPathPackages {
+		if p == "fpgapart/internal/membudget" {
+			onPath = true
+		}
+	}
+	if !onPath {
+		t.Error("fpgapart/internal/membudget missing from DeterministicPathPackages")
+	}
+	if !DefaultPanicBoundary().Boundary["fpgapart/hashjoin"] {
+		t.Error("fpgapart/hashjoin missing from the panic-boundary set")
+	}
+}
+
 func TestErrHygieneFixture(t *testing.T) {
 	pkg := loadFixture(t, "errfix")
 	findings := checkFixture(t, pkg, []Analyzer{NewErrHygiene()})

@@ -32,6 +32,7 @@ func DefaultPanicBoundary() *PanicBoundary {
 			"fpgapart/partition":  true,
 			"fpgapart/distjoin":   true,
 			"fpgapart/partserver": true,
+			"fpgapart/hashjoin":   true,
 		},
 		InternalPrefix: "fpgapart/internal/",
 		Sentinel:       "ErrSimulatorFault",

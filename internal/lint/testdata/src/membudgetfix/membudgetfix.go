@@ -1,0 +1,63 @@
+// Package membudgetfix is a known-bad fixture for the determinism analyzer
+// applied to memory-budget accounting, now that internal/membudget sits on
+// the deterministic path: budget decisions and replayed accounting must be a
+// pure function of the inputs, never of the wall clock, map order, or the
+// global rand source. Every `// want <analyzer>` comment marks a line the
+// analyzer must flag. Loaded under a synthetic import path by the tests; it
+// never builds as part of the module.
+package membudgetfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Budget is a memory budget whose accounting drifts per run in three ways
+// the analyzer must each catch.
+type Budget struct {
+	capBytes int64
+	inUse    int64
+	high     int64
+	// stampNS records when the high-water mark was last raised — host time
+	// in what must be a replayable ledger.
+	stampNS int64
+}
+
+// Reserve admits n bytes and stamps the high-water mark with the wall
+// clock, so two identical runs produce different ledgers.
+func (b *Budget) Reserve(n int64) bool {
+	if b.capBytes > 0 && b.inUse+n > b.capBytes {
+		return false
+	}
+	b.inUse += n
+	if b.inUse > b.high {
+		b.high = b.inUse
+		b.stampNS = time.Now().UnixNano() // want determinism
+	}
+	return true
+}
+
+// SpillOrder picks the partitions to spill by ranging over the per-partition
+// usage map: the multiset of victims is stable, but the spill sequence — and
+// with it every downstream spill offset and trace span — differs per run.
+func SpillOrder(usage map[int]int64, need int64) []int {
+	var victims []int
+	var freed int64
+	for p, n := range usage { // want determinism
+		if freed >= need {
+			break
+		}
+		victims = append(victims, p)
+		freed += n
+	}
+	return victims
+}
+
+// JitteredFit randomizes admission near the cap from the unseeded global
+// source — a nondeterministic spill decision.
+func JitteredFit(inUse, n, capBytes int64) bool {
+	if inUse+n <= capBytes {
+		return true
+	}
+	return rand.Float64() < 0.01 // want determinism
+}

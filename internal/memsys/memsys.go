@@ -44,6 +44,13 @@ func (p *Pool) PageBytes() int { return p.pageBytes }
 // FreePages returns how many pages remain unallocated.
 func (p *Pool) FreePages() int { return p.numPages - p.nextFree }
 
+// FreeBytes returns the unallocated capacity in bytes. The budgeted join
+// executor sizes its byte-level ledger (internal/membudget) from the
+// page-level pool that models the platform's physical memory: a
+// membudget.Budget capped at FreeBytes keeps every build-side allocation
+// within what the pool could actually back with pages.
+func (p *Pool) FreeBytes() int64 { return int64(p.FreePages()) * int64(p.pageBytes) }
+
 // Alloc allocates enough pages to cover size bytes and returns a Region. The
 // physical page frame numbers are handed to the region in allocation order;
 // like the Intel API, the software keeps this array and the FPGA's page

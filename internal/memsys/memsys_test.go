@@ -37,6 +37,9 @@ func TestAllocConsumesPages(t *testing.T) {
 	if p.FreePages() != 13 {
 		t.Errorf("FreePages = %d, want 13", p.FreePages())
 	}
+	if got := p.FreeBytes(); got != 13*(4<<20) {
+		t.Errorf("FreeBytes = %d, want %d", got, 13*(4<<20))
+	}
 	if _, err := p.Alloc(1 << 30); err == nil {
 		t.Error("oversized allocation accepted")
 	}

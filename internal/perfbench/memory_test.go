@@ -1,0 +1,44 @@
+package perfbench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMemorySuiteCurve checks the degradation-curve semantics: every cell
+// reproduces the unconstrained result exactly (zero deltas), and the tight
+// budgets on skewed workloads visibly spill and broadcast.
+func TestMemorySuiteCurve(t *testing.T) {
+	rep := suiteReport(t, SuiteMemory)
+	if len(rep.Records) != 12 {
+		t.Fatalf("memory suite has %d records, want 3 workloads × 4 budgets", len(rep.Records))
+	}
+	gated := func(rec Record, name string) int64 {
+		m, ok := rec.Gated.Metrics.Get(name)
+		if !ok {
+			t.Fatalf("%s: metric %s missing", rec.Name, name)
+		}
+		return m.Value
+	}
+	for _, rec := range rep.Records {
+		if d := gated(rec, "join.delta_matches_vs_unbudgeted"); d != 0 {
+			t.Errorf("%s: matches drifted from unconstrained by %d", rec.Name, d)
+		}
+		if d := gated(rec, "join.delta_checksum_vs_unbudgeted"); d != 0 {
+			t.Errorf("%s: checksum drifted from unconstrained by %#x", rec.Name, d)
+		}
+		switch {
+		case strings.HasSuffix(rec.Name, "/heavyhitter/budget10"):
+			if gated(rec, "join.mem_spilled_bytes") == 0 {
+				t.Errorf("%s: expected spilling at 10%% budget", rec.Name)
+			}
+			if gated(rec, "join.mem_broadcasts") == 0 {
+				t.Errorf("%s: expected heavy-hitter broadcasts at 10%% budget", rec.Name)
+			}
+		case strings.HasSuffix(rec.Name, "/zipf1.25/budget10"):
+			if gated(rec, "join.mem_spilled_bytes") == 0 {
+				t.Errorf("%s: expected spilling at 10%% budget", rec.Name)
+			}
+		}
+	}
+}

@@ -51,10 +51,13 @@ const (
 	SuiteJoin      = "join"
 	SuiteDistjoin  = "distjoin"
 	SuiteSched     = "sched"
+	SuiteMemory    = "memory"
 )
 
 // Suites lists every suite in canonical order.
-func Suites() []string { return []string{SuitePartition, SuiteJoin, SuiteDistjoin, SuiteSched} }
+func Suites() []string {
+	return []string{SuitePartition, SuiteJoin, SuiteDistjoin, SuiteSched, SuiteMemory}
+}
 
 // BenchFileName returns the canonical file name of a suite's report.
 func BenchFileName(suite string) string { return "BENCH_" + suite + ".json" }
@@ -116,6 +119,8 @@ func RunSuite(suite string, cfg Config) (*Report, error) {
 		records, err = runDistjoinSuite(cfg)
 	case SuiteSched:
 		records, err = runSchedSuite(cfg)
+	case SuiteMemory:
+		records, err = runMemorySuite(cfg)
 	default:
 		return nil, fmt.Errorf("perfbench: unknown suite %q (have %v)", suite, Suites())
 	}

@@ -225,6 +225,13 @@ type Job struct {
 	// CancelAtUS, when > 0, cancels the job if it is still queued at that
 	// virtual time.
 	CancelAtUS int64
+	// MemoryBudgetBytes caps the join build memory of this tenant's job
+	// (join jobs only; ≤ 0 unlimited). Partitions whose build side exceeds
+	// it spill and are recursively repartitioned or broadcast; the match
+	// count and checksum are identical to an unconstrained run, but the
+	// spill traffic is charged as extra virtual join time and reported in
+	// JobResult.SpilledBytes.
+	MemoryBudgetBytes int64
 }
 
 // Status is a job's terminal state. Every submitted job reaches exactly one.
@@ -322,6 +329,10 @@ type JobResult struct {
 	Checksum uint32
 	// Matches is the join cardinality (join jobs only).
 	Matches int64
+	// SpilledBytes and MaxJoinDepth describe the adaptive behaviour of a
+	// budgeted join job (zero for unbudgeted or partition-only jobs).
+	SpilledBytes int64
+	MaxJoinDepth int
 
 	// Err carries the failure message of a StatusFailed job.
 	Err string

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"fpgapart/internal/faults"
+	"fpgapart/internal/joincore"
 	"fpgapart/internal/model"
 	"fpgapart/partition"
 )
@@ -302,8 +303,22 @@ func (s *scheduler) predict(j *jobState, r *resource) int64 {
 	}
 	if probe > 0 {
 		us += ceilDiv((n+probe)*1e6, int64(s.cfg.JoinRate))
+		us += s.predictSpillUS(j, n, probe)
 	}
 	return us
+}
+
+// predictSpillUS is the deterministic placement-time estimate of the extra
+// join cost a per-tenant memory budget induces: when the whole build side
+// cannot fit the budget, assume both sides make one spill round trip
+// (write + read) at the join rate. The actual charge at harvest uses the
+// observed spill traffic instead.
+func (s *scheduler) predictSpillUS(j *jobState, n, probe int64) int64 {
+	budget := j.spec.MemoryBudgetBytes
+	if budget <= 0 || n*joincore.BuildTupleBytes <= budget {
+		return 0
+	}
+	return ceilDiv(2*(n+probe)*1e6, int64(s.cfg.JoinRate))
 }
 
 // dispatch sends job j (plus, on an FPGA, up to BatchMax−1 queued jobs with
@@ -494,6 +509,11 @@ func (s *scheduler) batchDuration(b *batch, r *resource) int64 {
 		}
 		if j.spec.Probe != nil && j.out.ok {
 			us += ceilDiv((int64(j.spec.Rel.NumTuples)+int64(j.spec.Probe.NumTuples))*1e6, int64(s.cfg.JoinRate))
+			if j.out.spilledBytes > 0 {
+				// Spill round trip: each spilled packed tuple (8 B) is
+				// written and re-read, charged at the join rate.
+				us += ceilDiv(2*(j.out.spilledBytes/8)*1e6, int64(s.cfg.JoinRate))
+			}
 		}
 		if b.aborted {
 			// The attempt stops part-way: charge the abort fraction.
@@ -634,22 +654,24 @@ func (s *scheduler) report() *Report {
 	var checksum uint32
 	for _, j := range s.jobs {
 		jr := JobResult{
-			ID:         j.id,
-			Status:     j.status,
-			Placement:  j.placement,
-			Instance:   j.instance,
-			Attempts:   j.attempts,
-			Degraded:   j.degraded,
-			ArrivalUS:  j.arrivalUS,
-			DispatchUS: j.dispatchUS,
-			DoneUS:     j.doneUS,
-			ExecUS:     j.execUS,
-			Tuples:     j.out.tuples,
-			Counts:     j.out.counts,
-			Offsets:    j.out.offsets,
-			Checksum:   j.out.checksum,
-			Matches:    j.out.matches,
-			Err:        j.errMsg,
+			ID:           j.id,
+			Status:       j.status,
+			Placement:    j.placement,
+			Instance:     j.instance,
+			Attempts:     j.attempts,
+			Degraded:     j.degraded,
+			ArrivalUS:    j.arrivalUS,
+			DispatchUS:   j.dispatchUS,
+			DoneUS:       j.doneUS,
+			ExecUS:       j.execUS,
+			Tuples:       j.out.tuples,
+			Counts:       j.out.counts,
+			Offsets:      j.out.offsets,
+			Checksum:     j.out.checksum,
+			Matches:      j.out.matches,
+			SpilledBytes: j.out.spilledBytes,
+			MaxJoinDepth: j.out.joinDepth,
+			Err:          j.errMsg,
 		}
 		if j.status == StatusDone {
 			jr.QueueWaitUS = j.dispatchUS - j.arrivalUS
@@ -671,11 +693,20 @@ func (s *scheduler) report() *Report {
 			rep.FailedInstances = append(rep.FailedInstances, r.idx)
 		}
 	}
+	var spilled int64
+	for _, j := range s.jobs {
+		spilled += j.out.spilledBytes
+	}
 	if s.cfg.Trace != nil {
 		s.count("sched.makespan_us", s.makespan)
 		s.count("sched.batches", s.batches)
 		s.count("sched.reconfigs", s.reconfs)
 		s.count("sched.output_checksum", int64(checksum))
+		if spilled > 0 {
+			// Emitted only when a budgeted job actually spilled, so traces
+			// of unbudgeted workloads are byte-identical to earlier runs.
+			s.count("sched.mem_spilled_bytes", spilled)
+		}
 		var busyF, busyC int64
 		for _, r := range s.res {
 			if r.kind == PlacedFPGA {

@@ -7,6 +7,7 @@ import (
 	"fpgapart/internal/cpupart"
 	"fpgapart/internal/hashutil"
 	"fpgapart/internal/joincore"
+	"fpgapart/internal/membudget"
 	"fpgapart/workload"
 )
 
@@ -27,6 +28,40 @@ type execOut struct {
 	offsets  []int64
 	checksum uint32
 	matches  int64
+	// spilledBytes / joinDepth describe a budgeted join's adaptive run
+	// (deterministic: derived from replayed accounting, not wall clock).
+	spilledBytes int64
+	joinDepth    int
+}
+
+// joinParts joins the partitioned sides, budgeted when the job carries a
+// per-tenant memory budget. Single-threaded either way, so the execution is
+// bit-reproducible.
+func joinParts(build, probe joincore.Partitions, spec *Job, out *execOut) error {
+	if spec.MemoryBudgetBytes > 0 {
+		budget := membudget.New(spec.MemoryBudgetBytes)
+		spill := &membudget.SpillStore{}
+		jr, stats, err := joincore.BudgetedBuildProbe(build, probe, joincore.BudgetConfig{
+			Budget:  budget,
+			Spill:   spill,
+			Threads: 1,
+		})
+		if err != nil {
+			return err
+		}
+		out.matches = jr.Matches
+		out.checksum = fold64(jr.Checksum)
+		out.spilledBytes = stats.SpilledBytes
+		out.joinDepth = stats.MaxDepth
+		return nil
+	}
+	jr, err := joincore.BuildProbe(build, probe, 1)
+	if err != nil {
+		return err
+	}
+	out.matches = jr.Matches
+	out.checksum = fold64(jr.Checksum)
+	return nil
 }
 
 // startWorker spawns the goroutine serving one resource. Workers are pure
@@ -111,13 +146,10 @@ func (w *fpgaWorker) runJob(j *jobState) {
 			return
 		}
 		out.cycles += pstats.Cycles
-		jr, err := joincore.BuildProbe(fpgaParts{build}, fpgaParts{probe}, 1)
-		if err != nil {
+		if err := joinParts(fpgaParts{build}, fpgaParts{probe}, j.spec, &out); err != nil {
 			j.out = execOut{errMsg: err.Error(), cycles: out.cycles}
 			return
 		}
-		out.matches = jr.Matches
-		out.checksum = fold64(jr.Checksum)
 	}
 	j.out = out
 }
@@ -158,13 +190,10 @@ func (w *cpuWorker) runJob(j *jobState) {
 			j.out = execOut{errMsg: err.Error()}
 			return
 		}
-		jr, err := joincore.BuildProbe(cpuParts{build}, cpuParts{probe}, 1)
-		if err != nil {
+		if err := joinParts(cpuParts{build}, cpuParts{probe}, j.spec, &out); err != nil {
 			j.out = execOut{errMsg: err.Error()}
 			return
 		}
-		out.matches = jr.Matches
-		out.checksum = fold64(jr.Checksum)
 	}
 	j.out = out
 }
