@@ -3,8 +3,11 @@
 #   make verify   — full gate: build, vet, fpgavet lint, race-free tests,
 #                   race-enabled tests
 #   make tier1    — the minimal tier-1 loop (build + test)
-#   make lint     — fpgavet static-analysis suite (determinism, panic
-#                   boundary, error hygiene, clocked components, bench-json)
+#   make lint     — fpgavet static-analysis suite (determinism,
+#                   boundary-reach, error hygiene, clocked components,
+#                   bench-json, hosttime-taint, hotpath-alloc)
+#   make lint-json — same suite, findings as a machine-readable JSON array
+#                   (what the CI lint job uploads as an artifact)
 #   make bench    — regenerate the committed perfbench baseline
 #   make bench-gate — run the perf matrix and fail on any gated
 #                   (simulated, deterministic) metric change vs the baseline
@@ -16,7 +19,7 @@
 
 GO ?= go
 
-.PHONY: verify tier1 build vet lint lint-fix test race bench bench-gate fuzz
+.PHONY: verify tier1 build vet lint lint-json lint-fix test race bench bench-gate fuzz
 
 verify: build vet lint test race
 
@@ -31,6 +34,11 @@ vet:
 
 lint:
 	$(GO) run ./cmd/fpgavet ./...
+
+# lint-json emits the same findings as a stable JSON array on stdout; CI
+# redirects it to fpgavet.json and uploads it as an artifact.
+lint-json:
+	$(GO) run ./cmd/fpgavet -json ./...
 
 # lint-fix reports findings as clickable file:line locations; automated
 # rewriting is not implemented, so it always exits 0 and leaves the fixes

@@ -1,12 +1,15 @@
 // Command fpgavet is the project's custom static-analysis suite. It loads
 // every package of the module with the standard library's go/parser +
-// go/types and enforces the invariants the compiler cannot see — simulator
-// determinism, the ErrSimulatorFault panic boundary, %w/errors.Is error
-// hygiene, and the clocked-component discipline (see internal/lint).
+// go/types, builds a whole-module call graph, and enforces the invariants
+// the compiler cannot see — simulator determinism, call-graph reachability
+// of internal panic sites from the public API (boundary-reach), %w/errors.Is
+// error hygiene, the clocked-component discipline, byte-pinned BENCH
+// marshaling, host-time taint flow, and hot-path allocation freedom (see
+// internal/lint).
 //
 // Usage:
 //
-//	fpgavet [-C moduleDir] [-analyzers a,b,c] [packages...]
+//	fpgavet [-C moduleDir] [-analyzers a,b,c] [-json] [-list] [packages...]
 //
 // With no package arguments (or ./...), the whole module is checked.
 // Package arguments are module-relative directory paths (./distjoin) and
@@ -14,10 +17,13 @@
 //
 //	path/file.go:line:col: [analyzer] message
 //
-// which is clickable in most terminals. Exit status: 0 clean, 1 findings,
-// 2 operational error. Individual findings can be suppressed with an
-// explicit `//fpgavet:allow <analyzer> [reason]` comment on the offending
-// line or the line above it.
+// which is clickable in most terminals. -json switches the report to a
+// machine-readable array (stable field order, one object per finding);
+// -list prints the available analyzers with their one-line docs and exits.
+// Exit status: 0 clean, 1 findings, 2 operational error. Individual
+// findings can be suppressed with an explicit `//fpgavet:allow <analyzer>
+// [reason]` comment on any line the offending statement spans or the line
+// above it.
 package main
 
 import (
@@ -37,7 +43,16 @@ func main() {
 func run() int {
 	modDir := flag.String("C", "", "module directory (default: nearest go.mod above the working directory)")
 	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	asJSON := flag.Bool("json", false, "report findings as a JSON array instead of file:line:col lines")
+	list := flag.Bool("list", false, "list the available analyzers with their one-line docs and exit")
 	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-18s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
 
 	dir := *modDir
 	if dir == "" {
@@ -68,15 +83,77 @@ func run() int {
 	pkgs = filterPackages(pkgs, loader.ModPath, flag.Args())
 
 	findings := lint.Run(pkgs, analyzers)
-	for _, f := range findings {
-		f.Pos.Filename = relativize(dir, f.Pos.Filename)
-		fmt.Println(f)
+	for i := range findings {
+		findings[i].Pos.Filename = relativize(dir, findings[i].Pos.Filename)
+		findings[i].End.Filename = relativize(dir, findings[i].End.Filename)
+	}
+	if *asJSON {
+		printJSON(findings)
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "fpgavet: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// printJSON writes the findings as a JSON array. The fields are emitted by
+// hand in a fixed order — the same field-by-field discipline the bench-json
+// analyzer enforces on the BENCH write path — so the output bytes depend
+// only on the findings, never on marshaling internals.
+func printJSON(findings []lint.Finding) {
+	var b strings.Builder
+	b.WriteString("[")
+	for i, f := range findings {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n  {")
+		fmt.Fprintf(&b, "\"file\":%s,", jsonString(f.Pos.Filename))
+		fmt.Fprintf(&b, "\"line\":%d,\"col\":%d,", f.Pos.Line, f.Pos.Column)
+		fmt.Fprintf(&b, "\"endLine\":%d,\"endCol\":%d,", f.End.Line, f.End.Column)
+		fmt.Fprintf(&b, "\"analyzer\":%s,", jsonString(f.Analyzer))
+		fmt.Fprintf(&b, "\"message\":%s", jsonString(f.Message))
+		b.WriteString("}")
+	}
+	if len(findings) > 0 {
+		b.WriteString("\n")
+	}
+	b.WriteString("]\n")
+	fmt.Print(b.String())
+}
+
+// jsonString quotes s as a JSON string: backslash, quote and control bytes
+// escaped, everything else (including multi-byte UTF-8) passed through.
+func jsonString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+				continue
+			}
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }
 
 // findModuleRoot walks up from the working directory to the nearest go.mod.
@@ -110,7 +187,11 @@ func selectAnalyzers(names string) ([]lint.Analyzer, error) {
 	for _, name := range strings.Split(names, ",") {
 		a, ok := byName[strings.TrimSpace(name)]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have: determinism, panic-boundary, error-hygiene, clocked-component)", name)
+			var have []string
+			for _, a := range all {
+				have = append(have, a.Name())
+			}
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, strings.Join(have, ", "))
 		}
 		out = append(out, a)
 	}

@@ -52,6 +52,8 @@ func newCombiner(cfg Config, banks, wpt int, dummy uint32) *combiner {
 
 // step advances the combiner one clock cycle, consuming at most one tuple
 // from its input FIFO.
+//
+//fpgavet:hotpath
 func (cb *combiner) step(in *fpga.FIFO[tup], st *Stats, cfg Config) {
 	if cb.stall > 0 {
 		cb.stall--
@@ -153,6 +155,8 @@ func (cb *combiner) idle() bool {
 // flushStep advances the end-of-run flush by one cycle: it inspects one
 // partition address per cycle, emitting a padded partial line if the
 // address holds leftover tuples. It reports whether the scan has finished.
+//
+//fpgavet:hotpath
 func (cb *combiner) flushStep(st *Stats) bool {
 	if cb.flushAddr >= cb.parts {
 		return true

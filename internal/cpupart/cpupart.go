@@ -171,13 +171,18 @@ func PartitionTuples(src []uint64, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// partIndex computes the partition of a packed tuple.
+// partIndex computes the partition of a packed tuple. It runs once per
+// tuple inside every partitioning inner loop, so it is pinned allocation-free.
+//
+//fpgavet:hotpath
 func partIndex(t uint64, bits uint, hash bool) uint32 {
 	return hashutil.PartitionIndex32(uint32(t), bits, hash)
 }
 
 // index computes the partition of a packed tuple under the config's hash
-// function and salt.
+// function and salt — per-tuple inner-loop code, pinned allocation-free.
+//
+//fpgavet:hotpath
 func (c Config) index(t uint64, bits uint) uint32 {
 	return hashutil.PartitionIndex32(uint32(t)^c.Salt, bits, c.Hash)
 }

@@ -61,6 +61,8 @@ func (f *FIFO[T]) CanPush() bool { return f.size < len(f.buf) }
 
 // Push enqueues v. Pushing into a full FIFO is a design bug — hardware would
 // silently drop data — so the simulator panics to surface it.
+//
+//fpgavet:hotpath
 func (f *FIFO[T]) Push(v T) {
 	if !f.CanPush() {
 		panic("fpga: push into full FIFO (back-pressure violated)")
@@ -82,6 +84,8 @@ func (f *FIFO[T]) Front() T {
 }
 
 // Pop removes and returns the oldest element.
+//
+//fpgavet:hotpath
 func (f *FIFO[T]) Pop() T {
 	v := f.Front()
 	var zero T

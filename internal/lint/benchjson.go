@@ -37,6 +37,10 @@ func DefaultBenchJSON() *BenchJSON {
 
 func (*BenchJSON) Name() string { return "bench-json" }
 
+func (*BenchJSON) Doc() string {
+	return "BENCH/golden write-path packages marshal field by field, never through encoding/json reflection"
+}
+
 // marshalFuncs are the encoding/json package-level entry points that
 // serialize via reflection.
 var marshalFuncs = map[string]bool{
@@ -77,14 +81,14 @@ func (b *BenchJSON) checkCall(pkg *Package, call *ast.CallExpr) *Finding {
 		// rest of the read side do not.
 		recv := sig.Recv().Type().String()
 		if name == "Encode" && recv == "*encoding/json.Encoder" {
-			f := pkg.finding(b.Name(), call.Pos(),
+			f := pkg.findingNode(b.Name(), call,
 				"json.Encoder.Encode marshals via reflection on the BENCH write path — gated reports must use the simtrace field-by-field writers so the byte layout stays pinned")
 			return &f
 		}
 		return nil
 	}
 	if marshalFuncs[name] {
-		f := pkg.finding(b.Name(), call.Pos(),
+		f := pkg.findingNode(b.Name(), call,
 			"json.%s marshals via reflection on the BENCH write path — gated reports must use the simtrace field-by-field writers so the byte layout stays pinned", name)
 		return &f
 	}

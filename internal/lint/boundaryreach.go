@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BoundaryReach is the call-graph upgrade of PR 2's panic-boundary
+// analyzer. The contract is unchanged — invariant violations inside the
+// simulator internals (internal/*) panic, and the public API packages must
+// convert those panics into errors wrapping ErrSimulatorFault before they
+// cross an exported function — but the check is now reachability over the
+// whole-module call graph instead of a per-package call scan:
+//
+//   - a finding requires an actual panic SITE to be reachable, so exported
+//     APIs that touch panic-free internal helpers no longer need a guard;
+//   - reachability crosses package boundaries (boundary pkg → sibling
+//     helper pkg → internal/* panic — the shape the per-package analyzer
+//     provably misses, see TestBoundaryReachCatchesWhatPanicBoundaryMisses)
+//     and module-interface dispatch;
+//   - a deferred recover guard wrapping the sentinel cuts the path wherever
+//     it appears: an exported API calling an already-guarded exported API
+//     (hashjoin → partition.Partition) is safe without its own guard.
+type BoundaryReach struct {
+	// Boundary is the set of public API packages the contract applies to.
+	Boundary map[string]bool
+	// InternalPrefix marks the panic-capable simulator packages.
+	InternalPrefix string
+	// Sentinel is the name of the wrapping sentinel error.
+	Sentinel string
+	// MaxHops caps the reported call-chain length in messages.
+	MaxHops int
+}
+
+// DefaultBoundaryReach returns the analyzer for the project's public API
+// surface, mirroring DefaultPanicBoundary's boundary set.
+func DefaultBoundaryReach() *BoundaryReach {
+	return &BoundaryReach{
+		Boundary: map[string]bool{
+			"fpgapart/partition":  true,
+			"fpgapart/distjoin":   true,
+			"fpgapart/partserver": true,
+			"fpgapart/hashjoin":   true,
+		},
+		InternalPrefix: "fpgapart/internal/",
+		Sentinel:       "ErrSimulatorFault",
+		MaxHops:        6,
+	}
+}
+
+func (*BoundaryReach) Name() string { return "boundary-reach" }
+
+func (*BoundaryReach) Doc() string {
+	return "exported error-returning APIs that can reach an internal/* panic site carry a deferred ErrSimulatorFault recover guard"
+}
+
+// Check implements Analyzer; boundary-reach only runs at module scope.
+func (*BoundaryReach) Check(*Package) []Finding { return nil }
+
+// CheckModule implements ModuleAnalyzer.
+func (b *BoundaryReach) CheckModule(mod *Module) []Finding {
+	g := mod.Graph
+
+	// Classify every declared function's deferred recover handling once;
+	// guarded nodes cut reachability, guard functions are exempt targets.
+	guards := map[*Node]guardState{}
+	guardFns := map[*types.Func]bool{}
+	for _, n := range g.Nodes() {
+		if bodyRecovers(n.Pkg, n.Decl.Body) && mentionsName(n.Decl.Body, b.Sentinel) {
+			guardFns[n.Fn] = true
+		}
+	}
+	for _, n := range g.Nodes() {
+		guards[n] = b.guardStateOf(n, guardFns)
+	}
+
+	var out []Finding
+	for _, n := range g.Nodes() {
+		if !b.Boundary[n.Pkg.Path] {
+			continue
+		}
+		if !ast.IsExported(n.Fn.Name()) || !returnsError(n.Fn) {
+			continue
+		}
+		if b.isInterfaceMethodDecl(n) {
+			continue
+		}
+		if guardFns[n.Fn] || guards[n] == guarded {
+			continue
+		}
+		if path, site := b.panicReach(g, n, guards, guardFns); site != nil {
+			chain := b.chainString(n, path)
+			if guards[n] == recoverNoWrap {
+				out = append(out, n.Pkg.findingNode(b.Name(), n.Decl.Name,
+					"exported %s recovers simulator panics without wrapping %s (panic site reachable via %s) — callers must be able to errors.Is the fault",
+					n.Fn.Name(), b.Sentinel, chain))
+				continue
+			}
+			out = append(out, n.Pkg.findingNode(b.Name(), n.Decl.Name,
+				"exported %s can reach a panic in %s via %s without an intervening deferred recover guard wrapping %s — a simulator invariant panic would escape the public API",
+				n.Fn.Name(), site.PkgPath(), chain, b.Sentinel))
+		}
+	}
+	return out
+}
+
+// panicReach walks the call graph from n and returns the first reachable
+// internal/* panic site (with the edge path leading to it), skipping
+// guarded functions and guard functions themselves. Deterministic: the walk
+// follows edges in discovery order.
+func (b *BoundaryReach) panicReach(g *CallGraph, start *Node, guards map[*Node]guardState, guardFns map[*types.Func]bool) (path []*Edge, site *Node) {
+	cut := func(n *Node) bool {
+		if n == start {
+			return false
+		}
+		return guardFns[n.Fn] || guards[n] == guarded
+	}
+	g.Reach(start, nil, cut, func(p []*Edge, n *Node) bool {
+		if n.HasPanic && strings.HasPrefix(n.PkgPath(), b.InternalPrefix) {
+			path = append([]*Edge(nil), p...)
+			site = n
+			return false
+		}
+		return true
+	})
+	return path, site
+}
+
+// chainString renders the call chain boundary → … → panic site for the
+// finding message, eliding middles beyond MaxHops.
+func (b *BoundaryReach) chainString(start *Node, path []*Edge) string {
+	names := []string{start.String()}
+	for _, e := range path {
+		names = append(names, e.Callee.String())
+	}
+	max := b.MaxHops
+	if max <= 0 {
+		max = 6
+	}
+	if len(names) > max {
+		head := names[:max-1]
+		names = append(append([]string{}, head...), "…", names[len(names)-1])
+	}
+	return strings.Join(names, " → ")
+}
+
+// guardStateOf classifies a node's deferred recover handling: a deferred
+// function literal that recovers and mentions the sentinel, or a deferred
+// call to a guard function (package-local or imported).
+func (b *BoundaryReach) guardStateOf(n *Node, guardFns map[*types.Func]bool) guardState {
+	state := noGuard
+	pkg := n.Pkg
+	walkOwnStatements(n.Decl.Body, func(node ast.Node) {
+		ds, ok := node.(*ast.DeferStmt)
+		if !ok {
+			return
+		}
+		switch fn := ds.Call.Fun.(type) {
+		case *ast.FuncLit:
+			if bodyRecovers(pkg, fn.Body) {
+				if mentionsName(fn.Body, b.Sentinel) {
+					state = guarded
+				} else if state == noGuard {
+					state = recoverNoWrap
+				}
+			}
+		default:
+			if obj, ok := pkg.objectOf(ds.Call.Fun).(*types.Func); ok {
+				if g := guardFns[obj.Origin()]; g {
+					state = guarded
+				}
+			}
+		}
+	})
+	return state
+}
+
+// isInterfaceMethodDecl reports whether n declares a method on an interface
+// (impossible for FuncDecls, but kept for future engine reuse); it also
+// filters methods whose receiver is itself an interface type.
+func (b *BoundaryReach) isInterfaceMethodDecl(n *Node) bool {
+	sig, ok := n.Fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}

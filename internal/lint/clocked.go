@@ -28,6 +28,10 @@ func NewClocked() *Clocked {
 
 func (*Clocked) Name() string { return "clocked-component" }
 
+func (*Clocked) Doc() string {
+	return "types with Tick/Cycle methods hold no host-time state, read no host clock, and spawn no goroutines per tick"
+}
+
 // Check implements Analyzer.
 func (c *Clocked) Check(pkg *Package) []Finding {
 	var out []Finding
@@ -118,14 +122,14 @@ func (c *Clocked) checkBody(pkg *Package, named *types.Named, fd *ast.FuncDecl) 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.GoStmt:
-			out = append(out, pkg.finding(c.Name(), n.Pos(),
+			out = append(out, pkg.findingNode(c.Name(), n,
 				"%s.%s spawns a goroutine inside the tick — a tick is one synchronous clock edge; scheduling would make cycle outcomes nondeterministic",
 				named.Obj().Name(), fd.Name.Name))
 		case *ast.CallExpr:
 			obj := pkg.objectOf(n.Fun)
 			if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
 				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && wallClockFuncs[fn.Name()] {
-					out = append(out, pkg.finding(c.Name(), n.Pos(),
+					out = append(out, pkg.findingNode(c.Name(), n,
 						"%s.%s calls time.%s — a clocked component must never read the host clock; simulated and host time must not mix",
 						named.Obj().Name(), fd.Name.Name, fn.Name()))
 				}

@@ -48,6 +48,10 @@ func DefaultDeterminism() *Determinism {
 
 func (*Determinism) Name() string { return "determinism" }
 
+func (*Determinism) Doc() string {
+	return "deterministic-path packages may not read the wall clock, draw global randomness, or range over maps"
+}
+
 // wallClockFuncs are the package-level time functions that read or schedule
 // against the host clock. time.Duration arithmetic and constants are fine —
 // simulated time is expressed in time.Duration.
@@ -79,7 +83,7 @@ func (d *Determinism) Check(pkg *Package) []Finding {
 			case *ast.RangeStmt:
 				if t := pkg.Info.TypeOf(n.X); t != nil {
 					if _, isMap := t.Underlying().(*types.Map); isMap {
-						out = append(out, pkg.finding(d.Name(), n.Pos(),
+						out = append(out, pkg.findingNode(d.Name(), n,
 							"range over map %s: iteration order is randomized per run — collect and sort the keys (or iterate the defining slice) so replays stay byte-identical", typeString(t)))
 					}
 				}
@@ -105,13 +109,13 @@ func (d *Determinism) checkCall(pkg *Package, call *ast.CallExpr) *Finding {
 	switch fn.Pkg().Path() {
 	case "time":
 		if wallClockFuncs[fn.Name()] {
-			f := pkg.finding(d.Name(), call.Pos(),
+			f := pkg.findingNode(d.Name(), call,
 				"time.%s reads the host clock on the deterministic path — simulated time must be derived from cycle counts and the platform clock", fn.Name())
 			return &f
 		}
 	case "math/rand", "math/rand/v2":
 		if !seededRandFuncs[fn.Name()] {
-			f := pkg.finding(d.Name(), call.Pos(),
+			f := pkg.findingNode(d.Name(), call,
 				"rand.%s draws from the global math/rand source on the deterministic path — use a generator seeded from the scenario (rand.New(rand.NewSource(seed))) or a hash of the decision identity", fn.Name())
 			return &f
 		}

@@ -24,6 +24,10 @@ func NewErrHygiene() *ErrHygiene { return &ErrHygiene{} }
 
 func (*ErrHygiene) Name() string { return "error-hygiene" }
 
+func (*ErrHygiene) Doc() string {
+	return "boundary errors are wrapped with %w and matched with errors.Is, never compared as strings"
+}
+
 // stringMatchFuncs are the strings-package predicates that textually match
 // error messages.
 var stringMatchFuncs = map[string]bool{
@@ -77,7 +81,7 @@ func (e *ErrHygiene) checkErrorf(pkg *Package, call *ast.CallExpr) []Finding {
 		}
 		arg := call.Args[1+i]
 		if implementsError(pkg.Info.TypeOf(arg)) {
-			out = append(out, pkg.finding(e.Name(), arg.Pos(),
+			out = append(out, pkg.findingNode(e.Name(), arg,
 				"error formatted with %%%c — wrap boundary errors with %%w so callers can errors.Is/errors.As through the chain", verb))
 		}
 	}
@@ -140,7 +144,7 @@ func (e *ErrHygiene) checkStringMatch(pkg *Package, call *ast.CallExpr) []Findin
 	}
 	for _, arg := range call.Args {
 		if errorStringCall(pkg, arg) {
-			f := pkg.finding(e.Name(), call.Pos(),
+			f := pkg.findingNode(e.Name(), call,
 				"strings.%s on err.Error() matches error text — compare sentinels with errors.Is (or errors.As for typed errors)", obj.Name())
 			return []Finding{f}
 		}
@@ -154,14 +158,14 @@ func (e *ErrHygiene) checkComparison(pkg *Package, bin *ast.BinaryExpr) []Findin
 		return nil
 	}
 	if errorStringCall(pkg, bin.X) || errorStringCall(pkg, bin.Y) {
-		return []Finding{pkg.finding(e.Name(), bin.Pos(),
+		return []Finding{pkg.findingNode(e.Name(), bin,
 			"comparing err.Error() text — compare sentinels with errors.Is instead of matching message strings")}
 	}
 	if isNil(pkg, bin.X) || isNil(pkg, bin.Y) {
 		return nil
 	}
 	if implementsError(pkg.Info.TypeOf(bin.X)) && implementsError(pkg.Info.TypeOf(bin.Y)) {
-		return []Finding{pkg.finding(e.Name(), bin.Pos(),
+		return []Finding{pkg.findingNode(e.Name(), bin,
 			"comparing error values with %s — use errors.Is so the check survives %%w wrapping", bin.Op)}
 	}
 	return nil

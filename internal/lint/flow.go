@@ -1,0 +1,720 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// This file is the value-flow ("taint") half of the analysis engine: a
+// lightweight intra-procedural dataflow pass plus inter-procedural function
+// summaries, built for one job — proving that values from a configured
+// source set (the host clock, environment, host meters) can never reach a
+// configured sink set (gated metrics, BENCH writers, virtual-time fields).
+//
+// The design trades precision for predictability:
+//
+//   - Taint is tracked per local variable as a bitmask: bit 0 means "tainted
+//     by a real source", bits 1..62 mean "depends on parameter i". The
+//     parameter bits are what make summaries composable: a function whose
+//     return mask carries a parameter bit propagates its callers' taint, and
+//     a function that passes parameter i into a sink turns every call site
+//     with a tainted i-th argument into a finding.
+//   - One level of field sensitivity: a composite literal or field write
+//     taints only that field of the assigned variable, so a struct carrying
+//     one host-derived field (joincore.Result.Elapsed) does not poison its
+//     sibling deterministic fields (Matches, Checksum). Deeper nesting
+//     collapses to whole-value taint.
+//   - Function literals are analyzed inline as part of their enclosing
+//     function, sharing its variable state (closures capture by reference,
+//     so this is the faithful model).
+//   - The inter-procedural fixpoint iterates summaries to convergence in
+//     deterministic node order; reflection and dynamic dispatch through
+//     foreign interfaces are not tracked (DESIGN.md §14).
+
+// taint is a bitmask: bit 0 = source-tainted, bit i+1 = flows from param i.
+type taint uint64
+
+const taintSrc taint = 1
+
+func paramBit(i int) taint {
+	if i >= 62 {
+		return 0 // parameter lists beyond 62 entries lose precision, not soundness for sources
+	}
+	return taint(2) << uint(i)
+}
+
+func (t taint) src() bool      { return t&taintSrc != 0 }
+func (t taint) anyParam() bool { return t&^taintSrc != 0 }
+func (t taint) params() []int {
+	var out []int
+	for i := 0; i < 62; i++ {
+		if t&paramBit(i) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TaintSpec configures one taint analysis.
+type TaintSpec struct {
+	// SourceCall reports whether a call to fn yields tainted results; desc
+	// names the source class for finding messages ("time.Now", "host meter").
+	SourceCall func(fn *types.Func) (desc string, ok bool)
+	// SourceType reports whether values of type t are tainted at rest
+	// (e.g. perfbench.HostSample).
+	SourceType func(t types.Type) (desc string, ok bool)
+	// SinkCall reports whether argument i (receiver counts as argument 0,
+	// explicit arguments follow) of a call to fn is a sink.
+	SinkCall func(fn *types.Func, i int) (desc string, ok bool)
+	// SinkField reports whether a write to struct field f is a sink.
+	SinkField func(f *types.Var) (desc string, ok bool)
+}
+
+// flowSummary is one function's inter-procedural behavior.
+type flowSummary struct {
+	// ret is the taint mask of the function's results (whole-value).
+	ret taint
+	// retFields carries one level of per-field result taint for functions
+	// returning a struct (or pointer to struct) built locally.
+	retFields map[string]taint
+	// retDesc names the source class behind ret's source bit.
+	retDesc string
+	// paramSink[i] is non-"" when argument i flows into a sink inside the
+	// function (directly or transitively).
+	paramSink map[int]string
+}
+
+// flowFinding is one source-to-sink flow, reported at the sink site.
+type flowFinding struct {
+	site     ast.Node
+	pkg      *Package
+	srcDesc  string
+	sinkDesc string
+}
+
+// flowEngine runs one TaintSpec over a call graph.
+type flowEngine struct {
+	spec      TaintSpec
+	graph     *CallGraph
+	summaries map[*types.Func]*flowSummary
+	findings  []flowFinding
+	// report toggles finding emission: false during fixpoint passes, true
+	// on the final pass.
+	report bool
+}
+
+// runTaint computes summaries to fixpoint, then reports every
+// source-to-sink flow in the loaded packages.
+func runTaint(spec TaintSpec, graph *CallGraph) []flowFinding {
+	e := &flowEngine{spec: spec, graph: graph, summaries: map[*types.Func]*flowSummary{}}
+	for pass := 0; pass < 10; pass++ {
+		changed := false
+		for _, n := range graph.Nodes() {
+			if e.analyze(n) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	e.report = true
+	for _, n := range graph.Nodes() {
+		e.analyze(n)
+	}
+	return e.findings
+}
+
+// funcState is the per-function dataflow state.
+type funcState struct {
+	e   *flowEngine
+	n   *Node
+	pkg *Package
+	// vars maps a local variable to its whole-value taint mask.
+	vars map[*types.Var]taint
+	// fields maps a local variable to per-field taint (one level deep).
+	fields map[*types.Var]map[string]taint
+	// params maps a parameter (receiver included) to its argument index.
+	params map[*types.Var]int
+	// summary under construction.
+	sum *flowSummary
+}
+
+// analyze recomputes n's summary, reporting findings when e.report is set.
+// It returns whether the summary changed.
+func (e *flowEngine) analyze(n *Node) bool {
+	st := &funcState{
+		e:      e,
+		n:      n,
+		pkg:    n.Pkg,
+		vars:   map[*types.Var]taint{},
+		fields: map[*types.Var]map[string]taint{},
+		params: map[*types.Var]int{},
+		sum:    &flowSummary{retFields: map[string]taint{}, paramSink: map[int]string{}},
+	}
+	st.bindParams()
+
+	// Iterate the body to a local fixpoint: loops can carry taint backward
+	// (x tainted on iteration 1 flows into y read on iteration 2).
+	for pass := 0; pass < 8; pass++ {
+		if !st.walk(false) {
+			break
+		}
+	}
+	st.walk(e.report) // sink pass
+
+	old := e.summaries[n.Fn]
+	e.summaries[n.Fn] = st.sum
+	return old == nil || !old.equal(st.sum)
+}
+
+func (s *flowSummary) equal(o *flowSummary) bool {
+	if s.ret != o.ret || s.retDesc != o.retDesc ||
+		len(s.retFields) != len(o.retFields) || len(s.paramSink) != len(o.paramSink) {
+		return false
+	}
+	for k, v := range s.retFields {
+		if o.retFields[k] != v {
+			return false
+		}
+	}
+	for k, v := range s.paramSink {
+		if o.paramSink[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// bindParams assigns argument indexes: receiver first, then parameters.
+func (st *funcState) bindParams() {
+	if _, ok := st.n.Fn.Type().(*types.Signature); !ok {
+		return
+	}
+	// Bind by Defs so the *types.Var matches identifier uses in the body.
+	if st.n.Decl.Recv != nil {
+		for _, f := range st.n.Decl.Recv.List {
+			for _, name := range f.Names {
+				if v, ok := st.pkg.Info.Defs[name].(*types.Var); ok {
+					st.params[v] = 0
+				}
+			}
+		}
+	}
+	if st.n.Decl.Type.Params != nil {
+		// Argument slot 0 is always the receiver (callArgs prepends a nil
+		// placeholder for plain calls), so parameters start at 1 for
+		// functions and methods alike.
+		base := 1
+		i := 0
+		for _, f := range st.n.Decl.Type.Params.List {
+			if len(f.Names) == 0 {
+				i++
+				continue
+			}
+			for _, name := range f.Names {
+				if v, ok := st.pkg.Info.Defs[name].(*types.Var); ok {
+					st.params[v] = base + i
+				}
+				i++
+			}
+		}
+	}
+}
+
+// walk runs one pass over the body. When report is set, sink hits with a
+// source bit become findings (param bits become paramSink summary entries in
+// every pass). It returns whether any variable's taint grew.
+func (st *funcState) walk(report bool) bool {
+	changed := false
+	taintVar := func(v *types.Var, t taint) {
+		if t == 0 {
+			return
+		}
+		if st.vars[v]&t != t {
+			st.vars[v] |= t
+			changed = true
+		}
+	}
+	taintField := func(v *types.Var, field string, t taint) {
+		if t == 0 {
+			return
+		}
+		m := st.fields[v]
+		if m == nil {
+			m = map[string]taint{}
+			st.fields[v] = m
+		}
+		if m[field]&t != t {
+			m[field] |= t
+			changed = true
+		}
+	}
+
+	ast.Inspect(st.n.Decl.Body, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.AssignStmt:
+			st.assign(n, taintVar, taintField)
+			st.checkAssignSinks(n, report)
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				v, ok := st.pkg.Info.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				if len(n.Values) == len(n.Names) {
+					t, fields := st.exprTaint(n.Values[i])
+					taintVar(v, t)
+					for f, ft := range fields {
+						taintField(v, f, ft)
+					}
+				} else if len(n.Values) == 1 {
+					t, _ := st.exprTaint(n.Values[0])
+					taintVar(v, t)
+				}
+			}
+		case *ast.RangeStmt:
+			t, _ := st.exprTaint(n.X)
+			for _, lhs := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if v, ok := st.defOrUse(id); ok {
+						taintVar(v, t)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				t, fields := st.exprTaint(res)
+				if st.sum.ret|t != st.sum.ret {
+					st.sum.ret |= t
+					changed = true
+				}
+				if t.src() && st.sum.retDesc == "" {
+					st.sum.retDesc = st.descOf(res)
+				}
+				for f, ft := range fields {
+					if st.sum.retFields[f]|ft != st.sum.retFields[f] {
+						st.sum.retFields[f] |= ft
+						changed = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			st.checkCallSinks(n, report)
+		case *ast.CompositeLit:
+			st.checkCompositeSinks(n, report)
+		}
+		return true
+	})
+	return changed
+}
+
+// assign propagates taint through one assignment statement.
+func (st *funcState) assign(n *ast.AssignStmt, taintVar func(*types.Var, taint), taintField func(*types.Var, string, taint)) {
+	if len(n.Lhs) == len(n.Rhs) {
+		for i, lhs := range n.Lhs {
+			t, fields := st.exprTaint(n.Rhs[i])
+			st.assignTo(lhs, t, fields, taintVar, taintField)
+		}
+		return
+	}
+	// Multi-value: x, y := f() — every lhs gets the call's whole taint.
+	if len(n.Rhs) == 1 {
+		t, _ := st.exprTaint(n.Rhs[0])
+		for _, lhs := range n.Lhs {
+			st.assignTo(lhs, t, nil, taintVar, taintField)
+		}
+	}
+}
+
+// assignTo routes taint into an assignment target: plain variables take the
+// whole mask plus field detail; x.f writes take field-level taint; other
+// targets (index expressions, dereferences) taint the root variable.
+func (st *funcState) assignTo(lhs ast.Expr, t taint, fields map[string]taint, taintVar func(*types.Var, taint), taintField func(*types.Var, string, taint)) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if v, ok := st.defOrUse(l); ok {
+			taintVar(v, t)
+			for f, ft := range fields {
+				taintField(v, f, ft)
+			}
+		}
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			if v, ok := st.defOrUse(id); ok {
+				taintField(v, l.Sel.Name, t)
+				return
+			}
+		}
+		// Unrooted field write: fall back to tainting nothing (the value
+		// escapes into a structure this pass does not model).
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			if v, ok := st.defOrUse(id); ok {
+				taintVar(v, t)
+			}
+		}
+	case *ast.StarExpr:
+		if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			if v, ok := st.defOrUse(id); ok {
+				taintVar(v, t)
+			}
+		}
+	}
+}
+
+// defOrUse resolves an identifier to the variable it defines or uses.
+func (st *funcState) defOrUse(id *ast.Ident) (*types.Var, bool) {
+	if v, ok := st.pkg.Info.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	if v, ok := st.pkg.Info.Uses[id].(*types.Var); ok {
+		return v, true
+	}
+	return nil, false
+}
+
+// descOf names the source class of a tainted expression for messages. The
+// engine does not track per-variable descriptions, so this searches the
+// expression subtree for a source call (time.Now().UnixNano() → "time.Now"),
+// consults callee summaries (elapsed() whose return is host time carries its
+// retDesc), and otherwise falls back to a generic label.
+func (st *funcState) descOf(e ast.Expr) string {
+	if st.e.spec.SourceType != nil {
+		if t := st.pkg.Info.TypeOf(e); t != nil {
+			if d, ok := st.e.spec.SourceType(t); ok {
+				return d
+			}
+		}
+	}
+	desc := ""
+	ast.Inspect(e, func(node ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := st.pkg.objectOf(call.Fun).(*types.Func)
+		if !ok {
+			return true
+		}
+		if st.e.spec.SourceCall != nil {
+			if d, ok := st.e.spec.SourceCall(fn.Origin()); ok {
+				desc = d
+				return false
+			}
+		}
+		if sum := st.e.summaries[fn.Origin()]; sum != nil && sum.ret.src() && sum.retDesc != "" {
+			desc = sum.retDesc
+			return false
+		}
+		return true
+	})
+	if desc != "" {
+		return desc
+	}
+	return "host-derived value"
+}
+
+// exprTaint computes the taint mask of an expression, plus one level of
+// per-field taint for composite literals and variables with field detail.
+func (st *funcState) exprTaint(e ast.Expr) (taint, map[string]taint) {
+	if e == nil {
+		return 0, nil
+	}
+	// Type-level sources taint every expression of the type.
+	if st.e.spec.SourceType != nil {
+		if t := st.pkg.Info.TypeOf(e); t != nil {
+			if _, ok := st.e.spec.SourceType(t); ok {
+				return taintSrc, nil
+			}
+		}
+	}
+	switch n := e.(type) {
+	case *ast.Ident:
+		if v, ok := st.defOrUse(n); ok {
+			t := st.vars[v]
+			if p, isParam := st.params[v]; isParam {
+				t |= paramBit(p)
+			}
+			return t, st.fields[v]
+		}
+		return 0, nil
+	case *ast.SelectorExpr:
+		// x.f: field-level taint when tracked, else the root's whole taint.
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			if v, ok := st.defOrUse(id); ok {
+				t := st.vars[v]
+				if p, isParam := st.params[v]; isParam {
+					t |= paramBit(p)
+				}
+				if m := st.fields[v]; m != nil {
+					return t | m[n.Sel.Name], nil
+				}
+				return t, nil
+			}
+		}
+		t, _ := st.exprTaint(n.X)
+		return t, nil
+	case *ast.CallExpr:
+		return st.callTaint(n)
+	case *ast.CompositeLit:
+		var whole taint
+		fields := map[string]taint{}
+		for _, el := range n.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				t, _ := st.exprTaint(kv.Value)
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					fields[key.Name] |= t
+				} else {
+					whole |= t
+				}
+				continue
+			}
+			t, _ := st.exprTaint(el)
+			whole |= t
+		}
+		if len(fields) == 0 {
+			fields = nil
+		}
+		return whole, fields
+	case *ast.UnaryExpr:
+		t, f := st.exprTaint(n.X)
+		return t, f
+	case *ast.StarExpr:
+		t, f := st.exprTaint(n.X)
+		return t, f
+	case *ast.ParenExpr:
+		return st.exprTaint(n.X)
+	case *ast.BinaryExpr:
+		tx, _ := st.exprTaint(n.X)
+		ty, _ := st.exprTaint(n.Y)
+		return tx | ty, nil
+	case *ast.IndexExpr:
+		t, _ := st.exprTaint(n.X)
+		return t, nil
+	case *ast.SliceExpr:
+		t, _ := st.exprTaint(n.X)
+		return t, nil
+	case *ast.TypeAssertExpr:
+		t, _ := st.exprTaint(n.X)
+		return t, nil
+	case *ast.FuncLit:
+		return 0, nil
+	}
+	return 0, nil
+}
+
+// callTaint computes the taint of a call's results — source calls, summary
+// propagation, type conversions — plus the callee's per-field result taint
+// translated into this call site's terms.
+func (st *funcState) callTaint(call *ast.CallExpr) (taint, map[string]taint) {
+	// Conversion T(x) carries x's taint.
+	if tv, ok := st.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			t, f := st.exprTaint(call.Args[0])
+			return t, f
+		}
+		return 0, nil
+	}
+	obj := st.pkg.objectOf(call.Fun)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		// Builtins and calls through function-typed values: fold argument
+		// taint (len/cap/append of tainted data stay tainted).
+		var t taint
+		for _, a := range call.Args {
+			at, _ := st.exprTaint(a)
+			t |= at
+		}
+		return t, nil
+	}
+	fn = fn.Origin()
+	if st.e.spec.SourceCall != nil {
+		if _, ok := st.e.spec.SourceCall(fn); ok {
+			return taintSrc, nil
+		}
+	}
+	sum := st.e.summaries[fn]
+	if sum == nil {
+		// Unknown body (standard library, unloaded package): conservatively
+		// carry receiver and argument taint through the call, so
+		// time.Now().UnixNano() and d.Microseconds() stay tainted.
+		var t taint
+		for _, a := range st.callArgs(call) {
+			if a == nil {
+				continue
+			}
+			at, _ := st.exprTaint(a)
+			t |= at
+		}
+		return t, nil
+	}
+	// resolve translates a summary mask into caller terms: the source bit
+	// passes through, parameter bits pull in the matching argument's taint.
+	args := st.callArgs(call)
+	resolve := func(mask taint) taint {
+		t := mask & taintSrc
+		if mask.anyParam() {
+			for i, arg := range args {
+				if paramUsed(mask, i) {
+					at, _ := st.exprTaint(arg)
+					t |= at
+				}
+			}
+		}
+		return t
+	}
+	t := resolve(sum.ret)
+	var fields map[string]taint
+	for f, mask := range sum.retFields {
+		if ft := resolve(mask); ft != 0 {
+			if fields == nil {
+				fields = map[string]taint{}
+			}
+			fields[f] = ft
+		}
+	}
+	return t, fields
+}
+
+// paramUsed reports whether mask depends on argument index i.
+func paramUsed(mask taint, i int) bool { return mask&paramBit(i) != 0 }
+
+// callArgs returns the call's effective argument list with the receiver (if
+// any) prepended as argument 0, mirroring summary parameter indexes.
+func (st *funcState) callArgs(call *ast.CallExpr) []ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := st.pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			return append([]ast.Expr{sel.X}, call.Args...)
+		}
+	}
+	return append([]ast.Expr{nil}, call.Args...)
+}
+
+// checkCallSinks reports tainted arguments reaching sink calls (directly
+// configured, or via a callee's paramSink summary).
+func (st *funcState) checkCallSinks(call *ast.CallExpr, report bool) {
+	obj := st.pkg.objectOf(call.Fun)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	fn = fn.Origin()
+	sum := st.e.summaries[fn]
+	for i, arg := range st.callArgs(call) {
+		if arg == nil {
+			continue
+		}
+		var sinkDesc string
+		if st.e.spec.SinkCall != nil {
+			if d, ok := st.e.spec.SinkCall(fn, i); ok {
+				sinkDesc = d
+			}
+		}
+		if sinkDesc == "" && sum != nil {
+			sinkDesc = sum.paramSink[i]
+		}
+		if sinkDesc == "" {
+			continue
+		}
+		t, _ := st.exprTaint(arg)
+		if t.src() && report {
+			st.e.findings = append(st.e.findings, flowFinding{
+				site: call, pkg: st.pkg, srcDesc: st.descOf(arg), sinkDesc: sinkDesc,
+			})
+		}
+		for _, p := range t.params() {
+			if st.sum.paramSink[p] == "" {
+				st.sum.paramSink[p] = sinkDesc
+			}
+		}
+	}
+}
+
+// checkCompositeSinks reports tainted values written into sink fields via
+// composite literals (Record{Gated: tainted}).
+func (st *funcState) checkCompositeSinks(lit *ast.CompositeLit, report bool) {
+	if st.e.spec.SinkField == nil {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		fv, ok := st.pkg.Info.Uses[key].(*types.Var)
+		if !ok || !fv.IsField() {
+			continue
+		}
+		desc, ok := st.e.spec.SinkField(fv)
+		if !ok {
+			continue
+		}
+		t, _ := st.exprTaint(kv.Value)
+		if t.src() && report {
+			st.e.findings = append(st.e.findings, flowFinding{
+				site: kv, pkg: st.pkg, srcDesc: st.descOf(kv.Value), sinkDesc: desc,
+			})
+		}
+		for _, p := range t.params() {
+			if st.sum.paramSink[p] == "" {
+				st.sum.paramSink[p] = desc
+			}
+		}
+	}
+}
+
+// checkAssignSinks reports tainted x.f = v writes into sink fields.
+func (st *funcState) checkAssignSinks(n *ast.AssignStmt, report bool) {
+	if st.e.spec.SinkField == nil {
+		return
+	}
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		fv, ok := st.pkg.Info.Uses[sel.Sel].(*types.Var)
+		if !ok || !fv.IsField() {
+			continue
+		}
+		desc, ok := st.e.spec.SinkField(fv)
+		if !ok {
+			continue
+		}
+		t, _ := st.exprTaint(n.Rhs[i])
+		if t.src() && report {
+			st.e.findings = append(st.e.findings, flowFinding{
+				site: n, pkg: st.pkg, srcDesc: st.descOf(n.Rhs[i]), sinkDesc: desc,
+			})
+		}
+		for _, p := range t.params() {
+			if st.sum.paramSink[p] == "" {
+				st.sum.paramSink[p] = desc
+			}
+		}
+	}
+}
+
+// position helpers shared by flow-based analyzers.
+func (f flowFinding) finding(analyzer string) Finding {
+	pos := f.pkg.Fset.Position(f.site.Pos())
+	end := f.pkg.Fset.Position(f.site.End())
+	return Finding{
+		Pos:      pos,
+		End:      end,
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf("%s flows into %s — host-derived values must never reach the deterministic/gated path", f.srcDesc, f.sinkDesc),
+	}
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+)
+
+// HostTimeTaint is the static complement of the perf gate's "wall-clock
+// jitter never fails" rule. The determinism analyzer bans host-clock READS
+// inside deterministic-path packages; this analyzer bans host-derived
+// VALUES from flowing into the deterministic side from anywhere in the
+// module: a value originating at time.Now/Since/Until, os.Getenv, an
+// unseeded math/rand draw, or a host meter (perfbench.HostSample,
+// HostMeter.Measure, the hostmeter package) must never reach
+//
+//   - a simtrace metric mutation (Counter.Add, Gauge.Observe,
+//     Histogram.Observe, Tracer.Span/Instant/Sample) — gated metrics and
+//     golden traces replay byte-for-byte only if every recorded value is a
+//     pure function of (code, seed);
+//   - a gated snapshot (Snapshot.With, the BENCH record's Gated field) —
+//     the zero-noise perf gate diffs these bytes, so host jitter here turns
+//     into CI flake;
+//   - virtual-time state: struct fields of deterministic-path packages
+//     whose names carry simulated time or identity (…US, …Cycles,
+//     …Checksum) — e.g. partserver.JobSpec.ArrivalUS.
+//
+// Flows are tracked by the flow.go taint engine: intra-procedurally through
+// assignments, arithmetic, composites and conversions, and across calls via
+// function summaries, with one level of field sensitivity (so
+// joincore.Result's host-measured Elapsed does not poison its deterministic
+// Matches/Checksum siblings).
+type HostTimeTaint struct {
+	// DetPathPrefixes scopes the virtual-time field sink: only fields of
+	// structs declared in these packages count.
+	DetPath map[string]bool
+}
+
+// DefaultHostTimeTaint returns the analyzer scoped to the project's
+// deterministic path (the same list the determinism analyzer uses).
+func DefaultHostTimeTaint() *HostTimeTaint {
+	paths := make(map[string]bool, len(DeterministicPathPackages))
+	for _, p := range DeterministicPathPackages {
+		paths[p] = true
+	}
+	return &HostTimeTaint{DetPath: paths}
+}
+
+func (*HostTimeTaint) Name() string { return "hosttime-taint" }
+
+func (*HostTimeTaint) Doc() string {
+	return "host clock/env/meter values never flow into simtrace metrics, gated BENCH snapshots, or virtual-time fields"
+}
+
+// Check implements Analyzer; hosttime-taint only runs at module scope.
+func (*HostTimeTaint) Check(*Package) []Finding { return nil }
+
+// hostSourceFuncs names the wall-clock reads that RETURN host time (Sleep
+// and the timer constructors are covered by the determinism analyzer; here
+// only value-producing reads matter).
+var hostSourceFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// envSourceFuncs are the os functions exposing ambient host state.
+var envSourceFuncs = map[string]bool{"Getenv": true, "LookupEnv": true, "Environ": true}
+
+// simtraceMutators are the metric/trace entry points whose arguments land
+// in gated snapshots and golden traces: receiver type → method names.
+var simtraceMutators = map[string]map[string]bool{
+	"Counter":   {"Add": true},
+	"Gauge":     {"Observe": true, "Set": true},
+	"Histogram": {"Observe": true},
+	"Tracer":    {"Span": true, "Instant": true, "Sample": true},
+	"Snapshot":  {"With": true},
+}
+
+// CheckModule implements ModuleAnalyzer.
+func (h *HostTimeTaint) CheckModule(mod *Module) []Finding {
+	spec := TaintSpec{
+		SourceCall: h.sourceCall,
+		SourceType: h.sourceType,
+		SinkCall:   h.sinkCall,
+		SinkField:  h.sinkField,
+	}
+	var out []Finding
+	for _, f := range runTaint(spec, mod.Graph) {
+		out = append(out, f.finding(h.Name()))
+	}
+	return out
+}
+
+func (h *HostTimeTaint) sourceCall(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	switch fn.Pkg().Path() {
+	case "time":
+		if sig != nil && sig.Recv() == nil && hostSourceFuncs[fn.Name()] {
+			return "time." + fn.Name(), true
+		}
+	case "os":
+		if sig != nil && sig.Recv() == nil && envSourceFuncs[fn.Name()] {
+			return "os." + fn.Name(), true
+		}
+	case "math/rand", "math/rand/v2":
+		if sig != nil && sig.Recv() == nil && !seededRandFuncs[fn.Name()] {
+			return "rand." + fn.Name(), true
+		}
+	case "fpgapart/internal/perfbench/hostmeter":
+		return "hostmeter." + fn.Name(), true
+	case "fpgapart/internal/perfbench":
+		// The HostMeter interface is declared on the deterministic side so
+		// perfbench itself stays off the clock; a call through it is still
+		// a host measurement.
+		if sig != nil && sig.Recv() != nil && fn.Name() == "Measure" {
+			recv := sig.Recv().Type()
+			if named, ok := derefNamed(recv); ok && named.Obj().Name() == "HostMeter" {
+				return "HostMeter.Measure", true
+			}
+		}
+	}
+	return "", false
+}
+
+func (h *HostTimeTaint) sourceType(t types.Type) (string, bool) {
+	named, ok := derefNamed(t)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "fpgapart/internal/perfbench" && obj.Name() == "HostSample" {
+		return "perfbench.HostSample", true
+	}
+	return "", false
+}
+
+func (h *HostTimeTaint) sinkCall(fn *types.Func, i int) (string, bool) {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fpgapart/internal/simtrace" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	named, ok := derefNamed(sig.Recv().Type())
+	if !ok {
+		return "", false
+	}
+	methods, ok := simtraceMutators[named.Obj().Name()]
+	if !ok || !methods[fn.Name()] {
+		return "", false
+	}
+	if i == 0 {
+		return "", false // the receiver itself carries no recorded value
+	}
+	return "simtrace." + named.Obj().Name() + "." + fn.Name(), true
+}
+
+func (h *HostTimeTaint) sinkField(f *types.Var) (string, bool) {
+	owner := fieldOwnerPath(f)
+	if owner == "" {
+		return "", false
+	}
+	if owner == "fpgapart/internal/perfbench" && f.Name() == "Gated" {
+		return "the gated BENCH metric set", true
+	}
+	if !h.DetPath[owner] {
+		return "", false
+	}
+	name := f.Name()
+	if strings.HasSuffix(name, "US") || strings.HasSuffix(name, "Cycles") ||
+		name == "Cycle" || strings.HasSuffix(name, "Checksum") {
+		return "virtual-time field " + name, true
+	}
+	return "", false
+}
+
+// fieldOwnerPath returns the import path of the package declaring field f.
+func fieldOwnerPath(f *types.Var) string {
+	if f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// derefNamed unwraps pointers and returns the named type underneath.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}

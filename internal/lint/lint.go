@@ -42,7 +42,12 @@ import (
 
 // Finding is one rule violation.
 type Finding struct {
-	Pos      token.Position
+	Pos token.Position
+	// End is the position just past the offending node, when known. It lets
+	// the //fpgavet:allow escape hatch match any line a multi-line statement
+	// spans, not just the first. A zero End means the finding covers only
+	// Pos's line.
+	End      token.Position
 	Analyzer string
 	Message  string
 }
@@ -70,29 +75,74 @@ type Analyzer interface {
 	// Name is the analyzer's short identifier, used in output and in
 	// //fpgavet:allow comments.
 	Name() string
+	// Doc is a one-line description, shown by `fpgavet -list`.
+	Doc() string
 	// Check returns the analyzer's findings for pkg. Implementations do not
 	// apply allow-comment suppression; Run does.
 	Check(pkg *Package) []Finding
 }
 
-// All returns the project's full analyzer set with default configuration.
+// Module bundles the whole loaded package set with the call graph built
+// over it — the input to module-level analyzers.
+type Module struct {
+	Pkgs  []*Package
+	Graph *CallGraph
+}
+
+// ModuleAnalyzer is an analyzer that needs the whole module at once (the
+// call-graph and taint analyzers). Its Check method is never called; Run
+// invokes CheckModule exactly once over all packages.
+type ModuleAnalyzer interface {
+	Analyzer
+	CheckModule(mod *Module) []Finding
+}
+
+// All returns the project's full analyzer set with default configuration:
+// determinism, boundary-reach, error-hygiene, clocked-component,
+// bench-json, hosttime-taint and hotpath-alloc. boundary-reach supersedes
+// PR 2's per-package panic-boundary analyzer (kept in-tree only as the
+// baseline its regression tests diff against).
 func All() []Analyzer {
 	return []Analyzer{
 		DefaultDeterminism(),
-		DefaultPanicBoundary(),
+		DefaultBoundaryReach(),
 		NewErrHygiene(),
 		NewClocked(),
 		DefaultBenchJSON(),
+		DefaultHostTimeTaint(),
+		DefaultHotpathAlloc(),
 	}
 }
 
-// Run applies every analyzer to every package, drops suppressed findings,
-// and returns the rest sorted by position.
+// Run applies every analyzer to every package (module analyzers once over
+// the whole set), drops suppressed findings, and returns the rest sorted by
+// position.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
-	var out []Finding
+	allowed := allows{}
 	for _, pkg := range pkgs {
-		allowed := allowTable(pkg)
-		for _, a := range analyzers {
+		allowed.merge(allowTable(pkg))
+	}
+
+	var mod *Module
+	module := func() *Module {
+		if mod == nil {
+			mod = &Module{Pkgs: pkgs, Graph: BuildCallGraph(pkgs)}
+		}
+		return mod
+	}
+
+	var out []Finding
+	for _, a := range analyzers {
+		if ma, ok := a.(ModuleAnalyzer); ok {
+			for _, f := range ma.CheckModule(module()) {
+				if allowed.allows(f) {
+					continue
+				}
+				out = append(out, f)
+			}
+			continue
+		}
+		for _, pkg := range pkgs {
 			for _, f := range a.Check(pkg) {
 				if allowed.allows(f) {
 					continue
@@ -123,17 +173,44 @@ const allowMarker = "fpgavet:allow"
 // allows maps filename → line → set of allowed analyzer names ("*" = all).
 type allows map[string]map[int]map[string]bool
 
+// allows reports whether a marker suppresses f. A marker matches on the
+// line above the finding or on ANY line the offending node spans (Pos.Line
+// through End.Line) — multi-line statements accept the marker on their
+// closing line, where gofmt tends to leave room for it.
 func (t allows) allows(f Finding) bool {
 	lines := t[f.Pos.Filename]
 	if lines == nil {
 		return false
 	}
-	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+	last := f.End.Line
+	if f.End.Filename != f.Pos.Filename || last < f.Pos.Line {
+		last = f.Pos.Line
+	}
+	for line := f.Pos.Line - 1; line <= last; line++ {
 		if set := lines[line]; set != nil && (set["*"] || set[f.Analyzer]) {
 			return true
 		}
 	}
 	return false
+}
+
+// merge folds another table into t.
+func (t allows) merge(o allows) {
+	for file, lines := range o {
+		if t[file] == nil {
+			t[file] = lines
+			continue
+		}
+		for line, set := range lines {
+			if t[file][line] == nil {
+				t[file][line] = set
+				continue
+			}
+			for name := range set {
+				t[file][line][name] = true
+			}
+		}
+	}
 }
 
 // allowTable collects every //fpgavet:allow comment in the package.
@@ -181,6 +258,14 @@ func (pkg *Package) finding(analyzer string, pos token.Pos, format string, args 
 		Analyzer: analyzer,
 		Message:  fmt.Sprintf(format, args...),
 	}
+}
+
+// findingNode builds a Finding spanning a whole node, so //fpgavet:allow
+// markers match any line of a multi-line statement.
+func (pkg *Package) findingNode(analyzer string, n ast.Node, format string, args ...interface{}) Finding {
+	f := pkg.finding(analyzer, n.Pos(), format, args...)
+	f.End = pkg.Fset.Position(n.End())
+	return f
 }
 
 // objectOf resolves the object a call expression's function refers to, for

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -40,16 +41,38 @@ func testLoader(t *testing.T) *Loader {
 // loadFixture type-checks testdata/src/<dir> under a synthetic import path.
 func loadFixture(t *testing.T, dir string) *Package {
 	t.Helper()
+	return loadFixtureAs(t, "fpgapart/fixture/"+dir, dir)
+}
+
+// loadFixtureAs type-checks testdata/src/<dir> under an explicit synthetic
+// import path (memoized, so fixtures can import each other: pre-load the
+// dependency, then load the importer — the loader resolves the path from
+// its cache).
+func loadFixtureAs(t *testing.T, path, dir string) *Package {
+	t.Helper()
 	l := testLoader(t)
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg
+	}
 	file, err := filepath.Abs(filepath.Join("testdata", "src", dir, dir+".go"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := l.CheckFiles("fpgapart/fixture/"+dir, []string{file})
+	pkg, err := l.CheckFiles(path, []string{file})
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
 	return pkg
+}
+
+// loadBoundaryFixtures loads the boundary-reach fixture chain in dependency
+// order: the synthetic internal package, the sibling helper, the boundary.
+func loadBoundaryFixtures(t *testing.T) (pkgs []*Package, boundfix *Package) {
+	t.Helper()
+	internal := loadFixtureAs(t, "fpgapart/internal/fixpanic", "fixpanic")
+	helper := loadFixture(t, "boundhelper")
+	boundfix = loadFixture(t, "boundfix")
+	return []*Package{internal, helper, boundfix}, boundfix
 }
 
 // expectations parses the fixture's `// want a b c` markers into a set of
@@ -64,10 +87,10 @@ func expectations(t *testing.T, pkg *Package, analyzers map[string]bool) map[str
 				if !strings.HasPrefix(text, "want ") {
 					continue
 				}
-				line := pkg.Fset.Position(c.Pos()).Line
+				pos := pkg.Fset.Position(c.Pos())
 				for _, name := range strings.Fields(strings.TrimPrefix(text, "want ")) {
 					if analyzers[name] {
-						want[fmt.Sprintf("%d %s", line, name)] = true
+						want[fmt.Sprintf("%s:%d %s", filepath.Base(pos.Filename), pos.Line, name)] = true
 					}
 				}
 			}
@@ -80,25 +103,38 @@ func expectations(t *testing.T, pkg *Package, analyzers map[string]bool) map[str
 // (line, analyzer) pairs against the `// want` markers, both directions.
 func checkFixture(t *testing.T, pkg *Package, analyzers []Analyzer) []Finding {
 	t.Helper()
+	return checkFixtureModule(t, []*Package{pkg}, analyzers)
+}
+
+// checkFixtureModule is checkFixture over a multi-package fixture set:
+// `// want` markers are collected from every package, and module analyzers
+// see the whole set at once.
+func checkFixtureModule(t *testing.T, pkgs []*Package, analyzers []Analyzer) []Finding {
+	t.Helper()
 	names := map[string]bool{}
 	for _, a := range analyzers {
 		names[a.Name()] = true
 	}
-	want := expectations(t, pkg, names)
-	findings := Run([]*Package{pkg}, analyzers)
+	want := map[string]bool{}
+	for _, pkg := range pkgs {
+		for key := range expectations(t, pkg, names) {
+			want[key] = true
+		}
+	}
+	findings := Run(pkgs, analyzers)
 
 	got := map[string]bool{}
 	for _, f := range findings {
-		got[fmt.Sprintf("%d %s", f.Pos.Line, f.Analyzer)] = true
+		got[fmt.Sprintf("%s:%d %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Analyzer)] = true
 	}
 	for key := range want {
 		if !got[key] {
-			t.Errorf("expected finding at line %s, got none", key)
+			t.Errorf("expected finding at %s, got none", key)
 		}
 	}
 	for key := range got {
 		if !want[key] {
-			t.Errorf("unexpected finding at line %s", key)
+			t.Errorf("unexpected finding at %s", key)
 		}
 	}
 	if t.Failed() {
@@ -279,6 +315,182 @@ func TestFormatVerbs(t *testing.T) {
 		if ok != c.ok || string(verbs) != c.verbs {
 			t.Errorf("formatVerbs(%q) = %q, %v; want %q, %v", c.format, string(verbs), ok, c.verbs, c.ok)
 		}
+	}
+}
+
+// TestBoundaryReachFixture: the call-graph analyzer over the three-package
+// fixture chain — marker-checked in both directions, so the guarded, the
+// panic-free and the non-error-returning shapes must all stay quiet.
+func TestBoundaryReachFixture(t *testing.T) {
+	pkgs, boundfix := loadBoundaryFixtures(t)
+	br := &BoundaryReach{
+		Boundary:       map[string]bool{boundfix.Path: true},
+		InternalPrefix: "fpgapart/internal/",
+		Sentinel:       "ErrSimulatorFault",
+		MaxHops:        6,
+	}
+	findings := checkFixtureModule(t, pkgs, []Analyzer{br})
+	assertFinding(t, findings, "boundary-reach", "boundhelper.Route")
+	assertFinding(t, findings, "boundary-reach", "fixpanic")
+	assertFinding(t, findings, "boundary-reach", "without wrapping ErrSimulatorFault")
+}
+
+// TestBoundaryReachCatchesWhatPanicBoundaryMisses is the acceptance
+// differential: the 2+ hop transitive chain boundfix → boundhelper →
+// internal/fixpanic is provably invisible to PR 2's per-package analyzer
+// (it only closes reachability over same-package callees) and caught by the
+// call-graph upgrade. The reverse precision gain is asserted too: the
+// per-package analyzer flags an exported API whose only internal callee is
+// panic-free; boundary-reach, requiring a reachable panic SITE, does not.
+func TestBoundaryReachCatchesWhatPanicBoundaryMisses(t *testing.T) {
+	pkgs, boundfix := loadBoundaryFixtures(t)
+
+	old := &PanicBoundary{
+		Boundary:       map[string]bool{boundfix.Path: true},
+		InternalPrefix: "fpgapart/internal/",
+		Sentinel:       "ErrSimulatorFault",
+	}
+	oldFindings := Run(pkgs, []Analyzer{old})
+	for _, f := range oldFindings {
+		if strings.Contains(f.Message, "TwoHop") || strings.Contains(f.Message, "Swallow") {
+			t.Errorf("panic-boundary unexpectedly sees the cross-package chain: %v", f)
+		}
+	}
+	found := false
+	for _, f := range oldFindings {
+		if strings.Contains(f.Message, "PanicFree") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("panic-boundary should flag PanicFree (any internal/* call is suspect to it) — fixture no longer demonstrates the precision gap")
+	}
+
+	br := &BoundaryReach{
+		Boundary:       map[string]bool{boundfix.Path: true},
+		InternalPrefix: "fpgapart/internal/",
+		Sentinel:       "ErrSimulatorFault",
+		MaxHops:        6,
+	}
+	newFindings := Run(pkgs, []Analyzer{br})
+	assertFinding(t, newFindings, "boundary-reach", "TwoHop")
+	assertFinding(t, newFindings, "boundary-reach", "Swallow")
+	for _, f := range newFindings {
+		if strings.Contains(f.Message, "PanicFree") {
+			t.Errorf("boundary-reach flags a function that cannot reach a panic site: %v", f)
+		}
+	}
+}
+
+func TestHostTimeTaintFixture(t *testing.T) {
+	pkg := loadFixture(t, "taintfix")
+	ht := DefaultHostTimeTaint()
+	ht.DetPath[pkg.Path] = true // the fixture's *US fields count as virtual time
+	findings := checkFixture(t, pkg, []Analyzer{ht})
+	assertFinding(t, findings, "hosttime-taint", "time.Now")
+	assertFinding(t, findings, "hosttime-taint", "simtrace.Counter.Add")
+	assertFinding(t, findings, "hosttime-taint", "virtual-time field DoneUS")
+	assertFinding(t, findings, "hosttime-taint", "os.Getenv")
+	if len(findings) < 6 {
+		t.Fatalf("hosttime-taint caught %d flows, want ≥ 6", len(findings))
+	}
+}
+
+func TestHotpathAllocFixture(t *testing.T) {
+	pkg := loadFixture(t, "hotfix")
+	findings := checkFixture(t, pkg, []Analyzer{DefaultHotpathAlloc()})
+	assertFinding(t, findings, "hotpath-alloc", "boxes")
+	assertFinding(t, findings, "hotpath-alloc", "calls make")
+	assertFinding(t, findings, "hotpath-alloc", "fmt.Sprintf")
+	assertFinding(t, findings, "hotpath-alloc", "closure capturing")
+	assertFinding(t, findings, "hotpath-alloc", "starts empty")
+	assertFinding(t, findings, "hotpath-alloc", "address of a composite literal")
+	if len(findings) < 7 {
+		t.Fatalf("hotpath-alloc caught %d allocations, want ≥ 7", len(findings))
+	}
+}
+
+// TestAllSeven pins the default analyzer roster: boundary-reach supersedes
+// panic-boundary, and the two engine-backed analyzers are always on.
+func TestAllSeven(t *testing.T) {
+	want := []string{
+		"determinism", "boundary-reach", "error-hygiene", "clocked-component",
+		"bench-json", "hosttime-taint", "hotpath-alloc",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name() != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name(), want[i])
+		}
+		if a.Doc() == "" {
+			t.Errorf("analyzer %s has no Doc()", a.Name())
+		}
+	}
+}
+
+// TestAllowMultilineStatement is the regression test for the escape-hatch
+// fix: before findings carried an End position, a marker on any line of a
+// multi-line statement other than the first (where gofmt leaves no room on
+// wrapped calls) was silently ignored.
+func TestAllowMultilineStatement(t *testing.T) {
+	table := allows{"multi.go": {
+		8: {"determinism": true},
+	}}
+	multi := Finding{
+		Pos:      token.Position{Filename: "multi.go", Line: 5},
+		End:      token.Position{Filename: "multi.go", Line: 8},
+		Analyzer: "determinism",
+	}
+	if !table.allows(multi) {
+		t.Error("marker on the closing line of a multi-line statement not honored")
+	}
+	single := Finding{
+		Pos:      token.Position{Filename: "multi.go", Line: 5},
+		Analyzer: "determinism",
+	}
+	if table.allows(single) {
+		t.Error("zero-End finding must only match its own line and the line above")
+	}
+	wrongAnalyzer := Finding{
+		Pos:      token.Position{Filename: "multi.go", Line: 5},
+		End:      token.Position{Filename: "multi.go", Line: 8},
+		Analyzer: "error-hygiene",
+	}
+	if table.allows(wrongAnalyzer) {
+		t.Error("marker for a different analyzer suppressed the finding")
+	}
+}
+
+// TestAllowMultilineEndToEnd drives the same fix through the real pipeline:
+// a determinism finding on a wrapped call with the allow marker on the
+// closing parenthesis line.
+func TestAllowMultilineEndToEnd(t *testing.T) {
+	l := testLoader(t)
+	dir := t.TempDir()
+	src := `package allowfix
+
+import "time"
+
+func Wait(d time.Duration) {
+	time.Sleep(
+		d,
+	) //fpgavet:allow determinism test helper sleeps on purpose
+}
+`
+	file := filepath.Join(dir, "allowfix.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.CheckFiles("fpgapart/fixture/allowfix", []string{file})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := &Determinism{Paths: map[string]bool{pkg.Path: true}}
+	if findings := Run([]*Package{pkg}, []Analyzer{det}); len(findings) != 0 {
+		t.Errorf("allow marker on the closing line ignored: %v", findings)
 	}
 }
 

@@ -41,6 +41,10 @@ func DefaultPanicBoundary() *PanicBoundary {
 
 func (*PanicBoundary) Name() string { return "panic-boundary" }
 
+func (*PanicBoundary) Doc() string {
+	return "legacy per-package panic-boundary check, superseded by boundary-reach (kept as the regression baseline)"
+}
+
 // funcFacts is the per-function analysis state.
 type funcFacts struct {
 	decl *ast.FuncDecl

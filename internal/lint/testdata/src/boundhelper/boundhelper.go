@@ -1,0 +1,14 @@
+// Package boundhelper is the sibling helper package of the boundary-reach
+// fixture: a non-boundary, non-internal package forwarding into the
+// panic-capable internals. It adds the extra call-graph hop that PR 2's
+// per-package panic-boundary analyzer provably cannot follow (it only
+// closes reachability over same-package callees).
+package boundhelper
+
+import "fpgapart/internal/fixpanic"
+
+// Route forwards into the panic-capable internals.
+func Route(v int) int { return fixpanic.Checked(v) }
+
+// Pure never touches the internals.
+func Pure(v int) int { return v + 2 }

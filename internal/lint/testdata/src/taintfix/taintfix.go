@@ -1,0 +1,85 @@
+// Package taintfix is the known-bad fixture for the hosttime-taint
+// analyzer: host-clock values flowing into simtrace metric mutations and
+// virtual-time fields, directly, laundered through a helper, and carried in
+// a struct field. The tests configure this package's import path as part of
+// the deterministic path so its *US fields count as virtual-time sinks.
+package taintfix
+
+import (
+	"os"
+	"time"
+
+	"fpgapart/internal/simtrace"
+)
+
+// Lane is deterministic-path state: DoneUS is virtual time.
+type Lane struct {
+	DoneUS int64
+	Label  string
+}
+
+// Direct feeds the host clock straight into a gated counter.
+func Direct(c *simtrace.Counter) {
+	c.Add(time.Now().UnixNano()) // want hosttime-taint
+}
+
+// Laundered routes the host clock through a helper whose summary carries
+// the taint back to this call site.
+func Laundered(c *simtrace.Counter) {
+	v := elapsed()
+	c.Add(v) // want hosttime-taint
+}
+
+func elapsed() int64 {
+	start := time.Now()
+	return time.Since(start).Microseconds()
+}
+
+// Stamp writes host time into a virtual-time field.
+func Stamp(l *Lane) {
+	l.DoneUS = time.Now().UnixNano() // want hosttime-taint
+}
+
+// Build writes host time into a virtual-time field via a composite literal.
+func Build() Lane {
+	return Lane{DoneUS: time.Now().UnixNano(), Label: "built"} // want hosttime-taint
+}
+
+// Clean records a value derived only from deterministic inputs.
+func Clean(c *simtrace.Counter, cycles int64) {
+	c.Add(cycles * 3)
+}
+
+// result mixes one host-derived field with deterministic siblings, like
+// joincore.Result — field-level taint must not leak across.
+type result struct {
+	Matches int64
+	Elapsed int64
+}
+
+func measure() result {
+	s := time.Now()
+	return result{Matches: 42, Elapsed: time.Since(s).Microseconds()}
+}
+
+// SiblingClean records the deterministic field of a mixed struct — one
+// level of field sensitivity keeps this quiet.
+func SiblingClean(c *simtrace.Counter) {
+	r := measure()
+	c.Add(r.Matches)
+}
+
+// SiblingTainted records the host-derived field of the same struct.
+func SiblingTainted(c *simtrace.Counter) {
+	r := measure()
+	c.Add(r.Elapsed) // want hosttime-taint
+}
+
+// Env feeds ambient host environment state into a gauge.
+func Env(g *simtrace.Gauge) {
+	g.Observe(int64(len(envName()))) // want hosttime-taint
+}
+
+func envName() string {
+	return os.Getenv("TAINTFIX_MODE")
+}
