@@ -67,7 +67,7 @@ bench:
 bench-gate:
 	$(GO) run ./cmd/perfbench run -out bench/out
 	@fail=0; \
-	for suite in partition join distjoin sched memory; do \
+	for suite in partition join distjoin sched memory cluster; do \
 		$(GO) run ./cmd/perfbench compare bench/baseline/BENCH_$$suite.json bench/out/BENCH_$$suite.json || fail=1; \
 	done; \
 	exit $$fail
@@ -81,7 +81,8 @@ fuzz:
 		./internal/cpupart:FuzzPartIndex \
 		./internal/cpupart:FuzzBufferedPartition \
 		./internal/cpupart:FuzzBufferedAgainstHistogram \
-		./hashjoin:FuzzJoinUnderBudget; do \
+		./hashjoin:FuzzJoinUnderBudget \
+		./cluster:FuzzClusterRoute; do \
 		pkg=$${t%%:*}; target=$${t##*:}; \
 		$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done

@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"fpgapart/internal/faults"
+	"fpgapart/internal/simtrace"
+	"fpgapart/partserver"
+)
+
+// ErrSimulatorFault is reported (wrapped) when an invariant violation inside
+// the simulator internals panics during a cluster run. Run converts such
+// panics into errors at the public API boundary. Test with
+// errors.Is(err, ErrSimulatorFault).
+var ErrSimulatorFault = errors.New("cluster: simulator invariant fault")
+
+// guardSimulator converts a panic escaping the simulator into an
+// ErrSimulatorFault-wrapping error. Used via defer with a named return.
+func guardSimulator(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: %v", ErrSimulatorFault, r)
+	}
+}
+
+// Request is one tenant request entering the cluster frontend: a routing
+// key, the tenant it bills to, and the partserver job to execute on
+// whichever shard the ring selects. Job.ArrivalUS is the request's virtual
+// arrival time at the router; Job.Tag is overwritten by the router (it
+// carries the request index through the scatter-gather merge).
+type Request struct {
+	// Tenant identifies the billing tenant for admission quotas (≥ 0).
+	Tenant int
+	// Key is the routing key hashed onto the ring.
+	Key uint64
+	// Job is the work item forwarded to the selected shard.
+	Job partserver.Job
+}
+
+// Config describes one cluster deployment: the shard pool, the ring, the
+// per-tenant admission quota, and the fault scenario.
+type Config struct {
+	// Shards is the number of partserver shards (default 3), ids 0..Shards-1.
+	Shards int
+	// VNodes is the per-shard virtual-node count on the ring (default 128).
+	VNodes int
+
+	// ShardFPGAs and ShardWorkers size each shard's resource pool
+	// (defaults 1 and 1).
+	ShardFPGAs   int
+	ShardWorkers int
+
+	// TenantQuota caps how many requests one tenant may admit per
+	// QuotaWindowUS window (0 disables quotas). A request over quota is
+	// deferred to the next window — delayed, never dropped — so a hot
+	// tenant's burst stretches its own latency instead of everyone's.
+	TenantQuota int
+	// QuotaWindowUS is the admission window length (default 1000 µs).
+	QuotaWindowUS int64
+
+	// Seed drives per-shard scheduler seeding (default 1).
+	Seed uint64
+
+	// Faults optionally fail-stops shards: Crashes entries with Node = shard
+	// id kill that shard's accept path after AfterFraction of its fair share
+	// of the request stream; later requests fail over clockwise around the
+	// ring. Jobs already admitted to a crashing shard still complete (the
+	// crash models the frontend, not the workers). Other scenario fields do
+	// not apply at the routing tier and are ignored.
+	Faults *faults.Scenario
+
+	// Trace attaches a simtrace session: the router reports request routing
+	// samples, per-shard serve spans, crash instants, and the cluster
+	// counters/histogram the perf gate pins. All emission happens after the
+	// deterministic harvest, in fixed order, so traces are byte-identical
+	// across same-seed runs. Nil disables tracing.
+	Trace *simtrace.Session
+}
+
+// WithDefaults returns a copy with unset knobs filled in.
+func (c Config) WithDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 3
+	}
+	if c.VNodes == 0 {
+		c.VNodes = 128
+	}
+	if c.ShardFPGAs == 0 && c.ShardWorkers == 0 {
+		c.ShardFPGAs = 1
+		c.ShardWorkers = 1
+	}
+	if c.QuotaWindowUS == 0 {
+		c.QuotaWindowUS = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Validate reports whether the configuration is runnable.
+func (c *Config) Validate() (err error) {
+	defer guardSimulator(&err)
+	if c.Shards < 1 {
+		return fmt.Errorf("cluster: Shards %d < 1", c.Shards)
+	}
+	if c.VNodes < 1 || c.VNodes > MaxVNodes {
+		return fmt.Errorf("cluster: VNodes %d outside [1, %d]", c.VNodes, MaxVNodes)
+	}
+	if c.ShardFPGAs < 0 || c.ShardWorkers < 0 || c.ShardFPGAs+c.ShardWorkers == 0 {
+		return fmt.Errorf("cluster: each shard needs at least one resource (ShardFPGAs %d, ShardWorkers %d)", c.ShardFPGAs, c.ShardWorkers)
+	}
+	if c.TenantQuota < 0 {
+		return fmt.Errorf("cluster: negative TenantQuota %d", c.TenantQuota)
+	}
+	if c.QuotaWindowUS < 1 {
+		return fmt.Errorf("cluster: QuotaWindowUS %d < 1", c.QuotaWindowUS)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		for _, cr := range c.Faults.Crashes {
+			if cr.Node >= c.Shards {
+				return fmt.Errorf("cluster: crash of shard %d outside pool of %d", cr.Node, c.Shards)
+			}
+		}
+	}
+	return nil
+}
+
+// mix is splitmix64's finalizer, the shard-seed derivation hash.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// quotaKey is one tenant's admission window.
+type quotaKey struct {
+	tenant int
+	window int64
+}
+
+// routed is the router's per-request admission decision, in request order.
+type routed struct {
+	shard     int // -1: never admitted (all shards dead)
+	primary   int // ring owner before failover
+	admitUS   int64
+	throttled bool
+}
+
+// Run routes reqs across the configured shard pool and blocks until every
+// admitted request completes on its shard. The full request stream is
+// supplied up front because deterministic virtual-time admission needs the
+// arrival order independent of host scheduling.
+//
+// The router makes every decision in (ArrivalUS, index) order: per-tenant
+// quota deferral first (which fixes the admit time), then crash bookkeeping
+// (a crashing shard serves its deterministic quota of requests and stops
+// accepting), then ring lookup with clockwise failover past dead shards.
+// Admitted jobs carry their request index in Job.Tag and their admit time in
+// Job.ArrivalUS, so per-shard results merge back into request order and all
+// shards share one global virtual clock. Shards execute on concurrent
+// goroutines and are harvested in shard-index order; same seed + requests +
+// config therefore render a byte-identical Report, trace and metrics
+// snapshot, even under the race detector.
+func Run(reqs []Request, cfg Config) (rep *Report, err error) {
+	defer guardSimulator(&err)
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for i := range reqs {
+		if reqs[i].Tenant < 0 {
+			return nil, fmt.Errorf("cluster: request %d negative tenant %d", i, reqs[i].Tenant)
+		}
+		if reqs[i].Job.ArrivalUS < 0 {
+			return nil, fmt.Errorf("cluster: request %d negative arrival %d", i, reqs[i].Job.ArrivalUS)
+		}
+	}
+
+	shardIDs := make([]int, cfg.Shards)
+	for i := range shardIDs {
+		shardIDs[i] = i
+	}
+	ring, err := NewRing(shardIDs, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		inj, err = faults.New(*cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+	}
+
+	// Crash thresholds: a crashing shard accepts exactly
+	// floor(AfterFraction · fair share) requests, then fail-stops its accept
+	// path. AfterFraction 0 is dead on arrival.
+	share := (len(reqs) + cfg.Shards - 1) / cfg.Shards
+	dieAfter := make([]int, cfg.Shards) // -1: never crashes
+	dead := make([]bool, cfg.Shards)
+	crashUS := make([]int64, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		dieAfter[s] = -1
+		if inj != nil {
+			if f, ok := inj.CrashFraction(s); ok {
+				dieAfter[s] = int(f * float64(share))
+				if dieAfter[s] == 0 {
+					dead[s] = true
+				}
+			}
+		}
+	}
+
+	// Admission order: (ArrivalUS, index), the virtual-time order requests
+	// reach the router.
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		// Insertion sort keeps the tie-break (index order) explicit and
+		// allocation-free; request streams are admission-rate bounded.
+		for k := i; k > 0; k-- {
+			a, b := order[k-1], order[k]
+			if reqs[a].Job.ArrivalUS < reqs[b].Job.ArrivalUS ||
+				(reqs[a].Job.ArrivalUS == reqs[b].Job.ArrivalUS && a < b) {
+				break
+			}
+			order[k-1], order[k] = b, a
+		}
+	}
+
+	decisions := make([]routed, len(reqs))
+	served := make([]int, cfg.Shards)
+	shardJobs := make([][]partserver.Job, cfg.Shards)
+	quota := make(map[quotaKey]int)
+	alive := func(s int) bool { return !dead[s] }
+	var throttleDelayUS int64
+	for _, idx := range order {
+		r := &reqs[idx]
+		d := routed{shard: -1, primary: ring.Shard(r.Key)}
+
+		// Per-tenant admission quota: defer over-quota requests to the next
+		// window until one has room. Deferral preserves the work (and thus
+		// checksum parity with the single-node reference); it only delays it.
+		admit := r.Job.ArrivalUS
+		if cfg.TenantQuota > 0 {
+			for {
+				w := admit / cfg.QuotaWindowUS
+				k := quotaKey{tenant: r.Tenant, window: w}
+				if quota[k] < cfg.TenantQuota {
+					quota[k]++
+					break
+				}
+				admit = (w + 1) * cfg.QuotaWindowUS
+				d.throttled = true
+			}
+		}
+		if d.throttled {
+			throttleDelayUS += admit - r.Job.ArrivalUS
+		}
+		d.admitUS = admit
+
+		// Ring lookup with clockwise failover past fail-stopped shards.
+		shard, ok := ring.ShardSkipping(r.Key, alive)
+		if ok {
+			d.shard = shard
+			job := r.Job
+			job.Tag = int64(idx)
+			job.ArrivalUS = admit
+			shardJobs[shard] = append(shardJobs[shard], job)
+			served[shard]++
+			if dieAfter[shard] >= 0 && served[shard] >= dieAfter[shard] && !dead[shard] {
+				dead[shard] = true
+				crashUS[shard] = admit
+			}
+		}
+		decisions[idx] = d
+	}
+
+	// Scatter: each shard is one partserver deployment on the shared global
+	// virtual clock (admit times are global, so per-shard DoneUS stamps are
+	// directly comparable). Shards run concurrently on real goroutines and
+	// are harvested in shard-index order.
+	shardReps := make([]*partserver.Report, cfg.Shards)
+	shardErrs := make([]error, cfg.Shards)
+	var wg sync.WaitGroup
+	for s := 0; s < cfg.Shards; s++ {
+		if len(shardJobs[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			seed := mix(cfg.Seed ^ uint64(s+1))
+			if seed == 0 {
+				seed = 1
+			}
+			shardReps[s], shardErrs[s] = partserver.Run(shardJobs[s], partserver.Config{
+				FPGAs:   cfg.ShardFPGAs,
+				Workers: cfg.ShardWorkers,
+				Seed:    seed,
+			})
+		}(s)
+	}
+	wg.Wait()
+	for s := 0; s < cfg.Shards; s++ {
+		if shardErrs[s] != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", s, shardErrs[s])
+		}
+	}
+
+	rep = gather(reqs, decisions, shardReps, dead, dieAfter, crashUS, ring, cfg, throttleDelayUS)
+	emit(rep, crashUS, cfg.Trace)
+	return rep, nil
+}

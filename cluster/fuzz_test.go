@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"testing"
+
+	"fpgapart/internal/faults"
+	"fpgapart/partserver"
+)
+
+// FuzzClusterRoute is differential fuzzing of the routing tier: for
+// arbitrary (seed, stream shape, shard count, vnode count, quota, crash)
+// configurations, the scatter-gathered Matches, Checksum, tuple total and
+// completion count must equal a single-node partserver run of the same job
+// stream. Routing, quota deferral, crash failover and the merge may move
+// work around and stretch latencies, but they must never create, lose, or
+// corrupt a request's output.
+func FuzzClusterRoute(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(3), uint8(32), uint8(0), uint8(0), false)
+	f.Add(uint64(7), uint8(16), uint8(2), uint8(1), uint8(1), uint8(50), false)
+	f.Add(uint64(42), uint8(20), uint8(4), uint8(64), uint8(2), uint8(40), true)
+	f.Add(uint64(1<<63), uint8(1), uint8(1), uint8(128), uint8(3), uint8(100), false)
+	f.Fuzz(func(t *testing.T, seed uint64, nreq, shards, vnodes, quota, hotPct uint8, crash bool) {
+		n := 1 + int(nreq)%24
+		ns := 1 + int(shards)%5
+		reqs, err := GenerateLoad(seed, n, LoadOptions{
+			MinTuples:      64,
+			MaxTuples:      512,
+			MeanGapUS:      40,
+			HotTenantShare: float64(hotPct%101) / 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Shards:      ns,
+			VNodes:      1 + int(vnodes)%256,
+			TenantQuota: int(quota) % 4,
+			Seed:        seed,
+		}
+		// A crash exercises the failover walk; keeping it to one shard of a
+		// ≥2-shard pool guarantees a survivor, so every request still
+		// completes and the parity invariant holds.
+		if crash && ns > 1 {
+			cfg.Faults = &faults.Scenario{
+				Seed:    seed,
+				Crashes: []faults.Crash{{Node: 0, AfterFraction: 0.5}},
+			}
+		}
+		rep, err := Run(reqs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		jobs := make([]partserver.Job, len(reqs))
+		for i := range reqs {
+			jobs[i] = reqs[i].Job
+		}
+		refSeed := seed
+		if refSeed == 0 {
+			refSeed = 1
+		}
+		ref, err := partserver.Run(jobs, partserver.Config{FPGAs: 1, Workers: 1, Seed: refSeed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var (
+			refDone               int
+			refTuples, refMatches int64
+			refChecksum           uint32
+		)
+		for i := range ref.Results {
+			r := &ref.Results[i]
+			if r.Status != partserver.StatusDone {
+				t.Fatalf("reference job %d: %v %q", r.ID, r.Status, r.Err)
+			}
+			refDone++
+			refTuples += r.Tuples
+			refMatches += r.Matches
+			refChecksum += r.Checksum
+		}
+
+		if rep.Done != refDone {
+			t.Fatalf("cluster completed %d requests, reference %d (failed %d, failed shards %v)",
+				rep.Done, refDone, rep.Failed, rep.FailedShards)
+		}
+		var gotTuples int64
+		for i := range rep.Results {
+			gotTuples += rep.Results[i].Tuples
+		}
+		if gotTuples != refTuples {
+			t.Fatalf("cluster tuples %d, reference %d", gotTuples, refTuples)
+		}
+		if rep.Matches != refMatches || rep.Checksum != refChecksum {
+			t.Fatalf("cluster merge %d/%#x, reference %d/%#x",
+				rep.Matches, rep.Checksum, refMatches, refChecksum)
+		}
+	})
+}

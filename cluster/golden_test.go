@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fpgapart/internal/simtrace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// TestGoldenConformance pins the cluster frontend's complete observable
+// behaviour — routed report, Chrome trace, and metrics snapshot — for one
+// fixed scenario exercising every mechanism at once: a hot tenant under an
+// admission quota, a mid-stream shard crash with clockwise failover, and
+// the scatter-gather merge across the survivors. Any change to ring
+// placement, quota accounting, failover order, latency bookkeeping, or
+// trace emission shows up as a byte diff here; -update rewrites the
+// snapshot, and a mismatch leaves a .got.json next to the golden file for
+// CI to upload.
+func TestGoldenConformance(t *testing.T) {
+	const (
+		seed = 42
+		n    = 20
+	)
+	reqs, err := GenerateLoad(seed, n, LoadOptions{HotTenantShare: 0.4, MeanGapUS: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := simtrace.NewSession()
+	rep, err := Run(reqs, Config{
+		Shards:        3,
+		TenantQuota:   2,
+		QuotaWindowUS: 500,
+		Seed:          seed,
+		Faults:        crashScenario(seed),
+		Trace:         sess,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The golden file pins the bytes; the semantics must hold regardless.
+	if rep.Done != n {
+		t.Fatalf("only %d/%d requests done (failed %d)", rep.Done, n, rep.Failed)
+	}
+	if len(rep.FailedShards) != 1 {
+		t.Fatalf("failed shards %v, want exactly one (the scenario crashes shard 1)", rep.FailedShards)
+	}
+	checkParity(t, rep, reqs, seed)
+
+	var b bytes.Buffer
+	b.WriteString("{\n\"report\": ")
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(",\n\"trace\": ")
+	if err := sess.Tracer.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(",\n\"metrics\": ")
+	if err := sess.Metrics.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString("}\n")
+
+	compareGolden(t, filepath.Join("testdata", "golden", "cluster_conformance.json"), b.Bytes())
+}
+
+// compareGolden diffs got against the golden file, honouring -update. On a
+// mismatch the actual bytes are written next to the golden file as
+// <name>.got.json so CI can attach them as an artifact.
+func compareGolden(t *testing.T, golden string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test ./cluster -run TestGolden -update` to create it): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotPath := golden[:len(golden)-len(".json")] + ".got.json"
+	if err := os.WriteFile(gotPath, got, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Errorf("golden mismatch: %s differs from %s\n%s\nrerun with -update if the change is intended",
+		golden, gotPath, firstDiff(want, got))
+}

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"fpgapart/internal/simtrace"
+	"fpgapart/partserver"
+)
+
+// RequestResult is one request's outcome, in request order.
+type RequestResult struct {
+	// Index is the request's position in the submitted stream.
+	Index int
+	// Tenant echoes Request.Tenant.
+	Tenant int
+	// Shard is where the request executed (-1: never admitted — every shard
+	// was dead when it arrived).
+	Shard int
+	// Rerouted reports that the ring's primary owner was dead and the
+	// request failed over clockwise to Shard.
+	Rerouted bool
+	// Throttled reports that the tenant's admission quota deferred the
+	// request past its arrival window.
+	Throttled bool
+
+	// Status is the shard scheduler's terminal status (StatusFailed for
+	// never-admitted requests).
+	Status partserver.Status
+
+	// Virtual timeline (µs): router arrival, quota-adjusted admission,
+	// completion on the shard; LatencyUS = DoneUS − ArrivalUS, the
+	// end-to-end latency the tenant observes.
+	ArrivalUS, AdmitUS, DoneUS, LatencyUS int64
+
+	// Output shape, echoed from the shard's JobResult.
+	Tuples   int64
+	Matches  int64
+	Checksum uint32
+}
+
+// Report is the outcome of one routed request stream.
+type Report struct {
+	// Results holds one entry per request, in request order.
+	Results []RequestResult
+
+	// Requests, Done and Failed count the stream; Done counts StatusDone,
+	// Failed counts shard failures plus never-admitted requests.
+	Requests, Done, Failed int
+	// Throttled counts quota-deferred requests; ThrottleDelayUS is the total
+	// virtual delay the quota imposed.
+	Throttled       int
+	ThrottleDelayUS int64
+	// Rerouted counts requests that failed over past a dead primary.
+	Rerouted int
+	// FailedShards lists fail-stopped shards, ascending.
+	FailedShards []int
+
+	// MakespanUS is the completion time of the last request on the global
+	// virtual clock.
+	MakespanUS int64
+	// Matches sums join cardinalities; Checksum is the order-insensitive
+	// merge (wrapping uint32 sum) of every request's output checksum — equal
+	// by construction to a single-node run of the same jobs.
+	Matches  int64
+	Checksum uint32
+
+	// Latency distribution over completed requests (µs, virtual): mean and
+	// exact nearest-rank 95th/99th percentiles. QPSx100 is completed
+	// requests per second of makespan, ×100 fixed point.
+	LatAvgUS, LatP95US, LatP99US int64
+	QPSx100                      int64
+
+	// Rebalancing measurement over this stream's routing keys: permyriad of
+	// keys that change owner when shard N joins, under the ring vs. under
+	// modulo sharding (ring ≈ 10000/(N+1); modulo ≈ 10000·N/(N+1)).
+	MovedRingX10000, MovedModX10000 int64
+
+	// Per-shard load: jobs routed and shard-local makespan, indexed by shard.
+	ShardJobs       []int
+	ShardMakespanUS []int64
+}
+
+// gather merges the per-shard reports back into request order and derives
+// the cluster-level aggregates.
+func gather(reqs []Request, decisions []routed, shardReps []*partserver.Report,
+	dead []bool, dieAfter []int, crashUS []int64, ring *Ring, cfg Config, throttleDelayUS int64) *Report {
+	rep := &Report{
+		Results:         make([]RequestResult, len(reqs)),
+		Requests:        len(reqs),
+		ThrottleDelayUS: throttleDelayUS,
+		ShardJobs:       make([]int, cfg.Shards),
+		ShardMakespanUS: make([]int64, cfg.Shards),
+	}
+	for i := range reqs {
+		d := &decisions[i]
+		rep.Results[i] = RequestResult{
+			Index:     i,
+			Tenant:    reqs[i].Tenant,
+			Shard:     d.shard,
+			Rerouted:  d.shard >= 0 && d.shard != d.primary,
+			Throttled: d.throttled,
+			Status:    partserver.StatusFailed,
+			ArrivalUS: reqs[i].Job.ArrivalUS,
+			AdmitUS:   d.admitUS,
+		}
+	}
+	for s := range shardReps {
+		srep := shardReps[s]
+		if srep == nil {
+			continue
+		}
+		rep.ShardJobs[s] = len(srep.Results)
+		if srep.MakespanUS > rep.ShardMakespanUS[s] {
+			rep.ShardMakespanUS[s] = srep.MakespanUS
+		}
+		for k := range srep.Results {
+			jr := &srep.Results[k]
+			rr := &rep.Results[jr.Tag]
+			rr.Status = jr.Status
+			rr.DoneUS = jr.DoneUS
+			rr.LatencyUS = jr.DoneUS - rr.ArrivalUS
+			rr.Tuples = jr.Tuples
+			rr.Matches = jr.Matches
+			rr.Checksum = jr.Checksum
+		}
+	}
+
+	lat := make([]int64, 0, len(reqs))
+	for i := range rep.Results {
+		rr := &rep.Results[i]
+		switch {
+		case rr.Shard < 0 || rr.Status == partserver.StatusFailed:
+			rep.Failed++
+		case rr.Status == partserver.StatusDone:
+			rep.Done++
+			lat = append(lat, rr.LatencyUS)
+		}
+		if rr.Throttled {
+			rep.Throttled++
+		}
+		if rr.Rerouted {
+			rep.Rerouted++
+		}
+		rep.Matches += rr.Matches
+		rep.Checksum += rr.Checksum
+		if rr.DoneUS > rep.MakespanUS {
+			rep.MakespanUS = rr.DoneUS
+		}
+	}
+	for s := range dead {
+		if dead[s] {
+			rep.FailedShards = append(rep.FailedShards, s)
+		}
+	}
+
+	if len(lat) > 0 {
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		var sum int64
+		for _, v := range lat {
+			sum += v
+		}
+		rep.LatAvgUS = sum / int64(len(lat))
+		rep.LatP95US = percentile(lat, 95)
+		rep.LatP99US = percentile(lat, 99)
+	}
+	if rep.MakespanUS > 0 {
+		rep.QPSx100 = int64(rep.Done) * 100_000_000 / rep.MakespanUS
+	}
+
+	// Rebalancing: what joining shard N would move, measured over this
+	// stream's actual keys.
+	keys := make([]uint64, len(reqs))
+	for i := range reqs {
+		keys[i] = reqs[i].Key
+	}
+	if grown, err := ring.WithShard(cfg.Shards); err == nil {
+		rep.MovedRingX10000 = MovedPermyriad(keys, ring, grown)
+	}
+	rep.MovedModX10000 = MovedPermyriad(keys, Modulo(cfg.Shards), Modulo(cfg.Shards+1))
+	return rep
+}
+
+// percentile returns the exact nearest-rank q-th percentile of sorted
+// (ascending) non-empty values.
+func percentile(sorted []int64, q int) int64 {
+	rank := (len(sorted)*q + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// emit reports the run into the simtrace session, in fixed order, after the
+// deterministic harvest. Nil session disables everything.
+func emit(rep *Report, crashUS []int64, sess *simtrace.Session) {
+	if sess == nil {
+		return
+	}
+	m := sess.Metrics
+	m.Counter("cluster.requests").Add(int64(rep.Requests))
+	m.Counter("cluster.requests_done").Add(int64(rep.Done))
+	m.Counter("cluster.requests_failed").Add(int64(rep.Failed))
+	m.Counter("cluster.throttled").Add(int64(rep.Throttled))
+	m.Counter("cluster.throttle_delay_us").Add(rep.ThrottleDelayUS)
+	m.Counter("cluster.rerouted").Add(int64(rep.Rerouted))
+	m.Counter("cluster.failed_shards").Add(int64(len(rep.FailedShards)))
+	m.Counter("cluster.matches").Add(rep.Matches)
+	m.Counter("cluster.output_checksum").Add(int64(rep.Checksum))
+	m.Counter("cluster.makespan_us").Add(rep.MakespanUS)
+	m.Counter("cluster.lat_avg_us").Add(rep.LatAvgUS)
+	m.Counter("cluster.lat_p95_us").Add(rep.LatP95US)
+	m.Counter("cluster.lat_p99_us").Add(rep.LatP99US)
+	m.Counter("cluster.qps_x100").Add(rep.QPSx100)
+	m.Counter("cluster.moved_ring_x10000").Add(rep.MovedRingX10000)
+	m.Counter("cluster.moved_mod_x10000").Add(rep.MovedModX10000)
+	h := m.Histogram("cluster.latency_us")
+	for s := range rep.ShardJobs {
+		comp := fmt.Sprintf("shard%d", s)
+		m.Counter("cluster." + comp + ".jobs").Add(int64(rep.ShardJobs[s]))
+		m.Counter("cluster." + comp + ".makespan_us").Add(rep.ShardMakespanUS[s])
+		sess.Tracer.Span(comp, "serve", 0, rep.ShardMakespanUS[s])
+	}
+	for _, s := range rep.FailedShards {
+		sess.Tracer.Instant("cluster", fmt.Sprintf("shard%d.crash", s), crashUS[s])
+	}
+	for i := range rep.Results {
+		rr := &rep.Results[i]
+		if rr.Status == partserver.StatusDone {
+			h.Observe(rr.LatencyUS)
+		}
+		sess.Tracer.Sample("cluster", "route.shard", rr.AdmitUS, int64(rr.Shard))
+	}
+}
+
+// WriteJSON renders the report as deterministic JSON, written field by
+// field in a fixed layout (the repo's golden/BENCH convention — no
+// reflective marshalling), so same-seed runs emit byte-identical bytes.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	write := func(format string, args ...interface{}) error {
+		if _, err := fmt.Fprintf(w, format, args...); err != nil {
+			return fmt.Errorf("cluster: writing report: %w", err)
+		}
+		return nil
+	}
+	if err := write("{\n  \"requests\": %d,\n  \"done\": %d,\n  \"failed\": %d,\n  \"throttled\": %d,\n  \"throttle_delay_us\": %d,\n  \"rerouted\": %d,\n",
+		rep.Requests, rep.Done, rep.Failed, rep.Throttled, rep.ThrottleDelayUS, rep.Rerouted); err != nil {
+		return err
+	}
+	if err := write("  \"failed_shards\": ["); err != nil {
+		return err
+	}
+	for i, s := range rep.FailedShards {
+		sep := ""
+		if i > 0 {
+			sep = ", "
+		}
+		if err := write("%s%d", sep, s); err != nil {
+			return err
+		}
+	}
+	if err := write("],\n  \"makespan_us\": %d,\n  \"matches\": %d,\n  \"checksum\": %d,\n  \"lat_avg_us\": %d,\n  \"lat_p95_us\": %d,\n  \"lat_p99_us\": %d,\n  \"qps_x100\": %d,\n  \"moved_ring_x10000\": %d,\n  \"moved_mod_x10000\": %d,\n",
+		rep.MakespanUS, rep.Matches, rep.Checksum, rep.LatAvgUS, rep.LatP95US, rep.LatP99US,
+		rep.QPSx100, rep.MovedRingX10000, rep.MovedModX10000); err != nil {
+		return err
+	}
+	if err := write("  \"shards\": [\n"); err != nil {
+		return err
+	}
+	for s := range rep.ShardJobs {
+		sep := ","
+		if s == len(rep.ShardJobs)-1 {
+			sep = ""
+		}
+		if err := write("    {\"shard\": %d, \"jobs\": %d, \"makespan_us\": %d}%s\n",
+			s, rep.ShardJobs[s], rep.ShardMakespanUS[s], sep); err != nil {
+			return err
+		}
+	}
+	if err := write("  ],\n  \"results\": [\n"); err != nil {
+		return err
+	}
+	for i := range rep.Results {
+		rr := &rep.Results[i]
+		sep := ","
+		if i == len(rep.Results)-1 {
+			sep = ""
+		}
+		if err := write("    {\"index\": %d, \"tenant\": %d, \"shard\": %d, \"rerouted\": %v, \"throttled\": %v, \"status\": %q, \"arrival_us\": %d, \"admit_us\": %d, \"done_us\": %d, \"latency_us\": %d, \"tuples\": %d, \"matches\": %d, \"checksum\": %d}%s\n",
+			rr.Index, rr.Tenant, rr.Shard, rr.Rerouted, rr.Throttled, rr.Status,
+			rr.ArrivalUS, rr.AdmitUS, rr.DoneUS, rr.LatencyUS,
+			rr.Tuples, rr.Matches, rr.Checksum, sep); err != nil {
+			return err
+		}
+	}
+	return write("  ]\n}\n")
+}

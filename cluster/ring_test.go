@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"testing"
+
+	"fpgapart/internal/hashutil"
+)
+
+// testKeys draws n deterministic routing keys.
+func testKeys(seed uint64, n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = hashutil.Murmur64Finalizer(seed ^ uint64(i)<<1 ^ 0xabcdef)
+	}
+	return keys
+}
+
+// TestRingLoadBalance pins the virtual-node balance guarantee: with ~1k
+// virtual nodes per shard, every shard's share of a large key population
+// stays within ε = 15% of the fair share.
+func TestRingLoadBalance(t *testing.T) {
+	const (
+		shards  = 4
+		vnodes  = 1024
+		nkeys   = 1 << 15
+		epsilon = 0.15
+	)
+	ring, err := NewRing([]int{0, 1, 2, 3}, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, shards)
+	for _, k := range testKeys(7, nkeys) {
+		counts[ring.Shard(k)]++
+	}
+	fair := float64(nkeys) / shards
+	for s, c := range counts {
+		dev := (float64(c) - fair) / fair
+		if dev < -epsilon || dev > epsilon {
+			t.Errorf("shard %d holds %d keys, %+.1f%% off the fair share %.0f (ε %.0f%%)",
+				s, c, dev*100, fair, epsilon*100)
+		}
+	}
+}
+
+// TestRingRoutingStability: the same key must land on the same shard across
+// independent ring rebuilds, whatever order the members were listed in —
+// the property that lets every router replica agree without coordination.
+func TestRingRoutingStability(t *testing.T) {
+	orders := [][]int{
+		{0, 1, 2, 3, 4},
+		{4, 3, 2, 1, 0},
+		{2, 0, 4, 1, 3},
+	}
+	rings := make([]*Ring, len(orders))
+	for i, members := range orders {
+		r, err := NewRing(members, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[i] = r
+	}
+	for _, k := range testKeys(11, 4096) {
+		want := rings[0].Shard(k)
+		for i := 1; i < len(rings); i++ {
+			if got := rings[i].Shard(k); got != want {
+				t.Fatalf("key %#x: ring built in order %v routes to %d, order %v routes to %d",
+					k, orders[0], want, orders[i], got)
+			}
+		}
+	}
+}
+
+// TestRingJoinMovesFewKeys is the consistent-hashing contract: joining one
+// shard into N moves ≈ 1/(N+1) of the keys (≤ 2/N pinned here), every moved
+// key moves TO the new shard, and the modulo baseline reshuffles ≥ 50%.
+func TestRingJoinMovesFewKeys(t *testing.T) {
+	const (
+		shards = 4
+		vnodes = 1024
+		nkeys  = 1 << 15
+	)
+	before, err := NewRing([]int{0, 1, 2, 3}, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := before.WithShard(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(13, nkeys)
+
+	moved := MovedPermyriad(keys, before, after)
+	if limit := int64(2 * 10000 / shards); moved > limit {
+		t.Errorf("ring join moved %d permyriad of keys, want ≤ %d (2/N)", moved, limit)
+	}
+	if moved == 0 {
+		t.Error("ring join moved no keys at all; the new shard holds nothing")
+	}
+	for _, k := range keys {
+		b, a := before.Shard(k), after.Shard(k)
+		if b != a && a != shards {
+			t.Fatalf("key %#x moved %d→%d on join of shard %d; moves must target the joiner",
+				k, b, a, shards)
+		}
+	}
+
+	movedMod := MovedPermyriad(keys, Modulo(shards), Modulo(shards+1))
+	if movedMod < 5000 {
+		t.Errorf("modulo join moved only %d permyriad, want ≥ 5000 — baseline should be pathological", movedMod)
+	}
+}
+
+// TestRingLeaveMovesOnlyOrphans: removing a shard relocates exactly the keys
+// it owned; every other key keeps its shard.
+func TestRingLeaveMovesOnlyOrphans(t *testing.T) {
+	before, err := NewRing([]int{0, 1, 2, 3}, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := before.WithoutShard(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(17, 1<<14) {
+		b, a := before.Shard(k), after.Shard(k)
+		if b == 2 {
+			if a == 2 {
+				t.Fatalf("key %#x still routes to removed shard 2", k)
+			}
+		} else if a != b {
+			t.Fatalf("key %#x moved %d→%d though shard %d was not removed", k, b, a, b)
+		}
+	}
+}
+
+// TestRingFailoverSkipsDead: the failover walk lands on the ring's next live
+// owner and agrees with Shard when everyone is alive.
+func TestRingFailoverSkipsDead(t *testing.T) {
+	ring, err := NewRing([]int{0, 1, 2}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allAlive := func(int) bool { return true }
+	for _, k := range testKeys(19, 2048) {
+		if s, ok := ring.ShardSkipping(k, allAlive); !ok || s != ring.Shard(k) {
+			t.Fatalf("key %#x: all-alive failover gave (%d, %v), Shard gives %d", k, s, ok, ring.Shard(k))
+		}
+		primary := ring.Shard(k)
+		s, ok := ring.ShardSkipping(k, func(sh int) bool { return sh != primary })
+		if !ok || s == primary {
+			t.Fatalf("key %#x: failover past dead primary %d gave (%d, %v)", k, primary, s, ok)
+		}
+		if _, ok := ring.ShardSkipping(k, func(int) bool { return false }); ok {
+			t.Fatalf("key %#x: failover found a shard in an all-dead cluster", k)
+		}
+	}
+}
+
+// TestNewRingValidation rejects malformed member sets.
+func TestNewRingValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		members []int
+		vnodes  int
+	}{
+		{"empty", nil, 64},
+		{"duplicate", []int{0, 1, 1}, 64},
+		{"negative", []int{-1, 0}, 64},
+		{"zero-vnodes", []int{0}, 0},
+		{"vnodes-over-cap", []int{0}, MaxVNodes + 1},
+	} {
+		if _, err := NewRing(tc.members, tc.vnodes); err == nil {
+			t.Errorf("%s: NewRing accepted members %v vnodes %d", tc.name, tc.members, tc.vnodes)
+		}
+	}
+	if _, err := (&Ring{}).WithoutShard(0); err == nil {
+		// Guards the not-a-member branch without needing a populated ring.
+		t.Error("WithoutShard removed a shard from an empty ring")
+	}
+}
+
+// TestPointHashDistinct spot-checks the injectivity argument behind
+// MaxVNodes: no two (shard, vnode) pairs collide within realistic bounds.
+func TestPointHashDistinct(t *testing.T) {
+	seen := make(map[uint64]bool, 8*512)
+	for s := 0; s < 8; s++ {
+		for v := 0; v < 512; v++ {
+			h := PointHash(s, v)
+			if seen[h] {
+				t.Fatalf("point hash collision at shard %d vnode %d", s, v)
+			}
+			seen[h] = true
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Command cluster runs the sharded serving frontend over a deterministic
+// open-loop request stream: a consistent-hash ring routes tenant requests
+// across N partserver shards, results scatter-gather back into one report,
+// and the latency distribution (avg/p95/p99, QPS) comes off the shared
+// virtual clock.
+//
+// Usage:
+//
+//	cluster run -requests 64 -shards 3 -seed 7
+//	cluster run -requests 128 -hot 0.5 -quota 2 -faulty -report rep.json
+//
+// The same flags always produce byte-identical routing decisions, reports,
+// traces and metrics; -report writes the full per-request report JSON,
+// -trace the Chrome trace-event timeline, -metrics the counter snapshot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fpgapart/cluster"
+	"fpgapart/internal/faults"
+	"fpgapart/internal/simtrace"
+)
+
+func main() {
+	if len(os.Args) < 2 || os.Args[1] != "run" {
+		usage()
+		os.Exit(2)
+	}
+	runCmd(os.Args[2:])
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  cluster run [-requests n] [-shards n] [-vnodes n] [-fpgas n] [-workers n]
+              [-seed n] [-tenants n] [-hot frac] [-quota n] [-window us]
+              [-gap us] [-faulty] [-report file] [-trace file] [-metrics file] [-v]
+`)
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("cluster run", flag.ExitOnError)
+	var (
+		requests = fs.Int("requests", 64, "number of requests in the generated stream")
+		shards   = fs.Int("shards", 3, "partserver shards behind the ring")
+		vnodes   = fs.Int("vnodes", 128, "virtual nodes per shard on the ring")
+		fpgas    = fs.Int("fpgas", 1, "simulated FPGA instances per shard")
+		workers  = fs.Int("workers", 1, "CPU partitioner workers per shard")
+		seed     = fs.Uint64("seed", 7, "ring + stream + shard-scheduler seed")
+		tenants  = fs.Int("tenants", 8, "number of tenants issuing requests")
+		hot      = fs.Float64("hot", 0, "fraction of the stream issued by hot tenant 0")
+		quota    = fs.Int("quota", 0, "per-tenant admitted requests per window (0 = no quota)")
+		window   = fs.Int64("window", 0, "admission window in µs (0 = default 1000)")
+		gap      = fs.Int64("gap", 0, "mean virtual inter-arrival gap in µs (0 = default 200)")
+		faulty   = fs.Bool("faulty", false, "fail-stop shard 1 after 40% of its share; requests fail over clockwise")
+		report   = fs.String("report", "", "write the full request-level report (JSON) to this file")
+		trace    = fs.String("trace", "", "write the Chrome trace-event timeline to this file")
+		metrics  = fs.String("metrics", "", "write the cluster metrics snapshot (JSON) to this file")
+		verbose  = fs.Bool("v", false, "print one line per request")
+	)
+	fs.Parse(args)
+
+	reqs, err := cluster.GenerateLoad(*seed, *requests, cluster.LoadOptions{
+		Tenants:        *tenants,
+		HotTenantShare: *hot,
+		MeanGapUS:      *gap,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	cfg := cluster.Config{
+		Shards:        *shards,
+		VNodes:        *vnodes,
+		ShardFPGAs:    *fpgas,
+		ShardWorkers:  *workers,
+		TenantQuota:   *quota,
+		QuotaWindowUS: *window,
+		Seed:          *seed,
+	}
+	if *faulty {
+		if *shards < 2 {
+			fatal(fmt.Errorf("-faulty needs at least 2 shards to fail over to"))
+		}
+		cfg.Faults = &faults.Scenario{
+			Seed:    *seed,
+			Crashes: []faults.Crash{{Node: 1, AfterFraction: 0.4}},
+		}
+	}
+	sess := simtrace.NewSession()
+	cfg.Trace = sess
+
+	rep, err := cluster.Run(reqs, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *verbose {
+		for i := range rep.Results {
+			r := &rep.Results[i]
+			fmt.Printf("req %3d  tenant=%-3d shard=%-2d %-9s rerouted=%-5v throttled=%-5v lat=%6dus tuples=%7d checksum=%08x",
+				r.Index, r.Tenant, r.Shard, r.Status, r.Rerouted, r.Throttled, r.LatencyUS, r.Tuples, r.Checksum)
+			if r.Matches > 0 {
+				fmt.Printf(" matches=%d", r.Matches)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("requests=%d done=%d failed=%d throttled=%d rerouted=%d failed_shards=%v\n",
+		rep.Requests, rep.Done, rep.Failed, rep.Throttled, rep.Rerouted, rep.FailedShards)
+	fmt.Printf("latency avg=%dus p95=%dus p99=%dus (log2-bucket p50≈%dus) qps=%d.%02d\n",
+		rep.LatAvgUS, rep.LatP95US, rep.LatP99US,
+		sess.Metrics.Histogram("cluster.latency_us").Quantile(0.5),
+		rep.QPSx100/100, rep.QPSx100%100)
+	fmt.Printf("join of shard %d would move %d.%02d%% of keys (modulo baseline: %d.%02d%%)\n",
+		*shards,
+		rep.MovedRingX10000/100, rep.MovedRingX10000%100,
+		rep.MovedModX10000/100, rep.MovedModX10000%100)
+	for s := range rep.ShardJobs {
+		fmt.Printf("shard %d: jobs=%d makespan=%dus\n", s, rep.ShardJobs[s], rep.ShardMakespanUS[s])
+	}
+
+	if *report != "" {
+		if err := writeFile(*report, rep.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *report)
+	}
+	if *trace != "" {
+		if err := writeFile(*trace, sess.Tracer.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *trace)
+	}
+	if *metrics != "" {
+		snap := sess.Metrics.Snapshot()
+		if err := writeFile(*metrics, snap.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metrics)
+	}
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cluster:", err)
+	os.Exit(1)
+}

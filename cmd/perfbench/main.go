@@ -60,7 +60,7 @@ func runCmd(args []string) {
 	fs := flag.NewFlagSet("perfbench run", flag.ExitOnError)
 	var (
 		out        = fs.String("out", ".", "directory for the BENCH_<suite>.json files")
-		suite      = fs.String("suite", "all", "suite to run (partition, join, distjoin, sched, memory) or \"all\"")
+		suite      = fs.String("suite", "all", "suite to run (partition, join, distjoin, sched, memory, cluster) or \"all\"")
 		seed       = fs.Int64("seed", 0, "workload generator seed (0 = default 42)")
 		tuples     = fs.Int("tuples", 0, "partition-suite relation size (0 = default 32768)")
 		host       = fs.Bool("host", false, "attach the host meter: adds wall-clock/alloc info metrics (report no longer byte-stable)")

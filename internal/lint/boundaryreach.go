@@ -42,6 +42,7 @@ func DefaultBoundaryReach() *BoundaryReach {
 			"fpgapart/distjoin":   true,
 			"fpgapart/partserver": true,
 			"fpgapart/hashjoin":   true,
+			"fpgapart/cluster":    true,
 		},
 		InternalPrefix: "fpgapart/internal/",
 		Sentinel:       "ErrSimulatorFault",

@@ -34,6 +34,7 @@ var DeterministicPathPackages = []string{
 	"fpgapart/partition",
 	"fpgapart/distjoin",
 	"fpgapart/partserver",
+	"fpgapart/cluster",
 }
 
 // DefaultDeterminism returns the analyzer scoped to the project's

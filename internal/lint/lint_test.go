@@ -529,3 +529,49 @@ func f() {
 		}
 	}
 }
+
+// TestClusterFixture runs the deterministic-path and boundary-reach
+// analyzers — configured exactly as for the real fpgapart/cluster package —
+// over the known-bad cluster twin: a map-range load gather, a wall-clock
+// admission stamp, a global-rand failover backoff, and an exported router
+// API reaching an internal panic site unguarded. Marker-checked in both
+// directions, so the fixture also proves the analyzers stay quiet on its
+// clean lines.
+func TestClusterFixture(t *testing.T) {
+	internal := loadFixtureAs(t, "fpgapart/internal/fixpanic", "fixpanic")
+	pkg := loadFixture(t, "clusterfix")
+	det := &Determinism{Paths: map[string]bool{pkg.Path: true}}
+	br := &BoundaryReach{
+		Boundary:       map[string]bool{pkg.Path: true},
+		InternalPrefix: "fpgapart/internal/",
+		Sentinel:       "ErrSimulatorFault",
+		MaxHops:        6,
+	}
+	findings := checkFixtureModule(t, []*Package{internal, pkg}, []Analyzer{det, br})
+	assertFinding(t, findings, "determinism", "range over map")
+	assertFinding(t, findings, "determinism", "time.Now")
+	assertFinding(t, findings, "determinism", "rand.")
+	assertFinding(t, findings, "boundary-reach", "fixpanic")
+	if len(findings) < 4 {
+		t.Fatalf("cluster fixture produced %d findings, want ≥ 4", len(findings))
+	}
+}
+
+// TestClusterOnAnalyzerRosters pins the roster membership the routing tier
+// relies on: fpgapart/cluster replays bit-for-bit (deterministic path, which
+// also scopes hosttime-taint) and its exported APIs guard reachable
+// internal/* panics (boundary-reach).
+func TestClusterOnAnalyzerRosters(t *testing.T) {
+	onPath := false
+	for _, p := range DeterministicPathPackages {
+		if p == "fpgapart/cluster" {
+			onPath = true
+		}
+	}
+	if !onPath {
+		t.Error("fpgapart/cluster missing from DeterministicPathPackages")
+	}
+	if !DefaultBoundaryReach().Boundary["fpgapart/cluster"] {
+		t.Error("fpgapart/cluster missing from the boundary-reach set")
+	}
+}

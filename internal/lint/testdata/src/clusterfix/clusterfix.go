@@ -1,0 +1,46 @@
+// Package clusterfix is the known-bad twin of the cluster routing tier:
+// each violation below is a routing-tier bug shape the deterministic-path
+// and boundary-reach rosters exist to catch now that fpgapart/cluster sits
+// on both (TestClusterOnAnalyzerRosters pins the membership; this fixture,
+// loaded under a synthetic path scoped into the same analyzers, proves
+// each one actually fires on cluster-shaped code).
+package clusterfix
+
+import (
+	"math/rand"
+	"time"
+
+	"fpgapart/internal/fixpanic"
+)
+
+// GatherLoad merges per-shard request counts by ranging over the map: the
+// sum is order-insensitive, but the identical loop shape feeding a trace,
+// a first-overloaded-shard report, or a tie-break silently differs per run
+// — exactly the drift the deterministic path bans.
+func GatherLoad(jobs map[int]int64) int64 {
+	var total int64
+	for _, n := range jobs { // want determinism
+		total += n
+	}
+	return total
+}
+
+// StampAdmission records a request's admission on the host clock instead of
+// the virtual one — the canonical way wall-clock jitter leaks into a
+// "deterministic" latency distribution.
+func StampAdmission() int64 {
+	return time.Now().UnixMicro() // want determinism
+}
+
+// JitterBackoff draws failover backoff from the unseeded global math/rand
+// source, so two same-seed runs retry dead shards in different orders.
+func JitterBackoff(n int) int {
+	return rand.Intn(n) // want determinism
+}
+
+// Route reaches the internal panic site (fixpanic stands in for the
+// simulator internals) from an exported error-returning API with no
+// deferred ErrSimulatorFault recover guard on the path.
+func Route(key int) (int, error) { // want boundary-reach
+	return fixpanic.Checked(key), nil
+}

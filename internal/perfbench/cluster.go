@@ -1,0 +1,117 @@
+package perfbench
+
+import (
+	"fmt"
+
+	"fpgapart/cluster"
+	"fpgapart/internal/faults"
+	"fpgapart/internal/simtrace"
+)
+
+// The cluster suite benchmarks the sharded serving frontend end to end: a
+// fixed open-loop request stream routed by the consistent-hash ring across
+// three partserver shards, scatter-gathered back into one report. Every
+// gated number — the avg/p95/p99 virtual-time latencies and QPS the tail
+// gate pins, the moved-key fractions of a shard join (ring vs. modulo),
+// quota throttling, failover reroutes, the merged output checksum — is a
+// pure function of (code, seed), so any delta against the baseline is a
+// true regression in routing, admission, failover, or merge behaviour.
+
+// clusterRequests is the stream length of every cluster cell: long enough
+// to spread across all shards and fill the latency tail, short enough for a
+// CI gate.
+const clusterRequests = 24
+
+// clusterShards is the shard pool size of every cell.
+const clusterShards = 3
+
+// clusterScenario is one routing-tier cell.
+type clusterScenario struct {
+	label    string
+	quota    int
+	hot      float64
+	scenario *faults.Scenario
+}
+
+func runClusterSuite(cfg Config) ([]Record, error) {
+	scenarios := []clusterScenario{
+		// Plain routing and merge: the latency/QPS/balance baseline.
+		{label: "faultfree"},
+		// A hot tenant issuing 40% of the stream under a per-window quota:
+		// gates the throttle counters and the tail the quota stretches.
+		{label: "hottenant", quota: 2, hot: 0.4},
+		// A shard fail-stopping mid-stream: gates the failover reroutes and
+		// the survivors' makespans.
+		{label: "faulty", scenario: &faults.Scenario{
+			Seed:    uint64(cfg.Seed),
+			Crashes: []faults.Crash{{Node: 1, AfterFraction: 0.4}},
+		}},
+	}
+	var records []Record
+	for _, sc := range scenarios {
+		rec, err := runClusterScenario(cfg, sc)
+		if err != nil {
+			return nil, fmt.Errorf("perfbench: scenario cluster/%s: %w", sc.label, err)
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+func runClusterScenario(cfg Config, sc clusterScenario) (Record, error) {
+	// Request sizes span cfg.Tuples/16 .. cfg.Tuples/4: small enough that
+	// three shards of one FPGA + one worker each stay CI-cheap, large enough
+	// that per-shard makespans dominate the router's bookkeeping.
+	reqs, err := cluster.GenerateLoad(uint64(cfg.Seed), clusterRequests, cluster.LoadOptions{
+		HotTenantShare: sc.hot,
+		MeanGapUS:      80,
+		MinTuples:      cfg.Tuples / 16,
+		MaxTuples:      cfg.Tuples / 4,
+	})
+	if err != nil {
+		return Record{}, err
+	}
+
+	sess := simtrace.NewSession()
+	ccfg := cluster.Config{
+		Shards:      clusterShards,
+		TenantQuota: sc.quota,
+		Seed:        uint64(cfg.Seed),
+		Faults:      sc.scenario,
+		Trace:       sess,
+	}
+
+	var rep *cluster.Report
+	info, err := measure(cfg.Host, func() error {
+		r, rerr := cluster.Run(reqs, ccfg)
+		rep = r
+		return rerr
+	})
+	if err != nil {
+		return Record{}, err
+	}
+	if rep.Done != clusterRequests {
+		return Record{}, fmt.Errorf("only %d/%d requests done (failed %d, failed shards %v)",
+			rep.Done, clusterRequests, rep.Failed, rep.FailedShards)
+	}
+
+	// The session snapshot already carries the router's full telemetry —
+	// cluster.lat_{avg,p95,p99}_us, qps_x100, the latency histogram, the
+	// moved-key fractions, throttle/reroute counters, per-shard jobs and
+	// makespans, and the merged output checksum. Add the load-balance spread
+	// an operator would watch: busiest shard's share of the stream, ×100.
+	var maxJobs int
+	for _, n := range rep.ShardJobs {
+		if n > maxJobs {
+			maxJobs = n
+		}
+	}
+	gated := sess.Metrics.Snapshot().With(
+		counter("bench.max_shard_share_x100", int64(maxJobs)*100/int64(rep.Requests)),
+	)
+	return Record{
+		Name:  fmt.Sprintf("cluster/%ds1f1w/%dreq/%s", clusterShards, clusterRequests, sc.label),
+		Gated: MetricSet{gated},
+		Info:  MetricSet{info},
+	}, nil
+}

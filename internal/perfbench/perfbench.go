@@ -52,11 +52,12 @@ const (
 	SuiteDistjoin  = "distjoin"
 	SuiteSched     = "sched"
 	SuiteMemory    = "memory"
+	SuiteCluster   = "cluster"
 )
 
 // Suites lists every suite in canonical order.
 func Suites() []string {
-	return []string{SuitePartition, SuiteJoin, SuiteDistjoin, SuiteSched, SuiteMemory}
+	return []string{SuitePartition, SuiteJoin, SuiteDistjoin, SuiteSched, SuiteMemory, SuiteCluster}
 }
 
 // BenchFileName returns the canonical file name of a suite's report.
@@ -121,6 +122,8 @@ func RunSuite(suite string, cfg Config) (*Report, error) {
 		records, err = runSchedSuite(cfg)
 	case SuiteMemory:
 		records, err = runMemorySuite(cfg)
+	case SuiteCluster:
+		records, err = runClusterSuite(cfg)
 	default:
 		return nil, fmt.Errorf("perfbench: unknown suite %q (have %v)", suite, Suites())
 	}

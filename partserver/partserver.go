@@ -232,6 +232,12 @@ type Job struct {
 	// spill traffic is charged as extra virtual join time and reported in
 	// JobResult.SpilledBytes.
 	MemoryBudgetBytes int64
+
+	// Tag is an opaque caller identifier echoed verbatim in JobResult.Tag.
+	// The scheduler never interprets it; routing tiers (the cluster
+	// frontend) use it to map per-shard results back to their original
+	// requests without relying on submission order.
+	Tag int64
 }
 
 // Status is a job's terminal state. Every submitted job reaches exactly one.
@@ -294,6 +300,8 @@ func (p Placement) String() string {
 type JobResult struct {
 	ID     int
 	Status Status
+	// Tag echoes Job.Tag (see there).
+	Tag int64
 
 	// Placement and Instance locate the final successful (or last
 	// attempted) execution: fpga[Instance] or cpu[Instance].

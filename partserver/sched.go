@@ -656,6 +656,7 @@ func (s *scheduler) report() *Report {
 		jr := JobResult{
 			ID:           j.id,
 			Status:       j.status,
+			Tag:          j.spec.Tag,
 			Placement:    j.placement,
 			Instance:     j.instance,
 			Attempts:     j.attempts,
