@@ -19,7 +19,7 @@
 
 GO ?= go
 
-.PHONY: verify tier1 build vet lint lint-json lint-fix test race bench bench-gate fuzz
+.PHONY: verify tier1 build vet lint lint-json lint-fix test race bench bench-gate trace-demo fuzz
 
 verify: build vet lint test race
 
@@ -67,10 +67,22 @@ bench:
 bench-gate:
 	$(GO) run ./cmd/perfbench run -out bench/out
 	@fail=0; \
-	for suite in partition join distjoin sched memory cluster; do \
+	for suite in partition join distjoin sched memory cluster reqtrace; do \
 		$(GO) run ./cmd/perfbench compare bench/baseline/BENCH_$$suite.json bench/out/BENCH_$$suite.json || fail=1; \
 	done; \
 	exit $$fail
+
+# trace-demo exercises the causal-tracing stack end to end on a faulty
+# sharded run: prints the critical-path profile and writes the per-request
+# breakdown JSON, the flight-recorder postmortem, and the Chrome trace
+# (open bench/out/trace.json in chrome://tracing or Perfetto — the req*
+# track carries the root spans and flow arrows).
+trace-demo:
+	@mkdir -p bench/out
+	$(GO) run ./cmd/cluster run -requests 32 -quota 2 -hot 0.4 -faulty \
+		-reqtrace bench/out/reqtrace_breakdown.json \
+		-flight bench/out/flight_postmortem.txt \
+		-trace bench/out/trace.json
 
 # fuzz runs each differential fuzz target for a short smoke window (Go's
 # fuzzer accepts one -fuzz target per invocation). CI runs the same loop;

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"fpgapart/internal/faults"
+	"fpgapart/internal/reqtrace"
 	"fpgapart/internal/simtrace"
 	"fpgapart/partserver"
 )
@@ -76,6 +77,15 @@ type Config struct {
 	// deterministic harvest, in fixed order, so traces are byte-identical
 	// across same-seed runs. Nil disables tracing.
 	Trace *simtrace.Session
+
+	// ReqTrace attaches a causal request capture: every request gets a
+	// deterministic trace context (TraceID derived from Seed and request
+	// index), an exact virtual-time latency decomposition spanning router
+	// quota deferral, shard queueing, batching, reconfiguration, execution,
+	// spill and retries, and a span chain for critical-path analysis. The
+	// capture's flight recorder is filled even when the run fails — the
+	// postmortem case. Nil disables capture at zero cost.
+	ReqTrace *reqtrace.Capture
 }
 
 // WithDefaults returns a copy with unset knobs filled in.
@@ -239,7 +249,13 @@ func Run(reqs []Request, cfg Config) (rep *Report, err error) {
 		}
 	}
 
+	// Causal capture: per-shard recorders plus the router's flight ring.
+	// The flight merge is deferred so a failed run still dumps a postmortem.
+	plumb := newCapturePlumbing(cfg.ReqTrace, cfg.Shards)
+	defer plumb.finishFlight()
+
 	decisions := make([]routed, len(reqs))
+	jobPos := make([]int, len(reqs)) // position within the shard's job list
 	served := make([]int, cfg.Shards)
 	shardJobs := make([][]partserver.Job, cfg.Shards)
 	quota := make(map[quotaKey]int)
@@ -267,22 +283,31 @@ func Run(reqs []Request, cfg Config) (rep *Report, err error) {
 		}
 		if d.throttled {
 			throttleDelayUS += admit - r.Job.ArrivalUS
+			plumb.record(admit, "throttle", idx, admit-r.Job.ArrivalUS)
 		}
 		d.admitUS = admit
 
 		// Ring lookup with clockwise failover past fail-stopped shards.
 		shard, ok := ring.ShardSkipping(r.Key, alive)
+		jobPos[idx] = -1
 		if ok {
 			d.shard = shard
+			if shard != d.primary {
+				plumb.record(admit, "failover", idx, int64(shard))
+			}
 			job := r.Job
 			job.Tag = int64(idx)
 			job.ArrivalUS = admit
+			jobPos[idx] = len(shardJobs[shard])
 			shardJobs[shard] = append(shardJobs[shard], job)
 			served[shard]++
 			if dieAfter[shard] >= 0 && served[shard] >= dieAfter[shard] && !dead[shard] {
 				dead[shard] = true
 				crashUS[shard] = admit
+				plumb.record(admit, "shard_crash", -1, int64(shard))
 			}
+		} else {
+			plumb.record(admit, "unrouted", idx, int64(d.primary))
 		}
 		decisions[idx] = d
 	}
@@ -309,6 +334,7 @@ func Run(reqs []Request, cfg Config) (rep *Report, err error) {
 				FPGAs:   cfg.ShardFPGAs,
 				Workers: cfg.ShardWorkers,
 				Seed:    seed,
+				Record:  plumb.shardRecorder(s),
 			})
 		}(s)
 	}
@@ -318,6 +344,8 @@ func Run(reqs []Request, cfg Config) (rep *Report, err error) {
 			return nil, fmt.Errorf("cluster: shard %d: %w", s, shardErrs[s])
 		}
 	}
+
+	plumb.buildTraces(reqs, decisions, jobPos, cfg.Seed)
 
 	rep = gather(reqs, decisions, shardReps, dead, dieAfter, crashUS, ring, cfg, throttleDelayUS)
 	emit(rep, crashUS, cfg.Trace)

@@ -67,10 +67,10 @@ type Report struct {
 	Checksum uint32
 
 	// Latency distribution over completed requests (µs, virtual): mean and
-	// exact nearest-rank 95th/99th percentiles. QPSx100 is completed
+	// exact nearest-rank 50th/95th/99th percentiles. QPSx100 is completed
 	// requests per second of makespan, ×100 fixed point.
-	LatAvgUS, LatP95US, LatP99US int64
-	QPSx100                      int64
+	LatAvgUS, LatP50US, LatP95US, LatP99US int64
+	QPSx100                                int64
 
 	// Rebalancing measurement over this stream's routing keys: permyriad of
 	// keys that change owner when shard N joins, under the ring vs. under
@@ -162,6 +162,7 @@ func gather(reqs []Request, decisions []routed, shardReps []*partserver.Report,
 			sum += v
 		}
 		rep.LatAvgUS = sum / int64(len(lat))
+		rep.LatP50US = percentile(lat, 50)
 		rep.LatP95US = percentile(lat, 95)
 		rep.LatP99US = percentile(lat, 99)
 	}
@@ -210,6 +211,7 @@ func emit(rep *Report, crashUS []int64, sess *simtrace.Session) {
 	m.Counter("cluster.output_checksum").Add(int64(rep.Checksum))
 	m.Counter("cluster.makespan_us").Add(rep.MakespanUS)
 	m.Counter("cluster.lat_avg_us").Add(rep.LatAvgUS)
+	m.Counter("cluster.lat_p50_us").Add(rep.LatP50US)
 	m.Counter("cluster.lat_p95_us").Add(rep.LatP95US)
 	m.Counter("cluster.lat_p99_us").Add(rep.LatP99US)
 	m.Counter("cluster.qps_x100").Add(rep.QPSx100)
@@ -260,8 +262,8 @@ func (rep *Report) WriteJSON(w io.Writer) error {
 			return err
 		}
 	}
-	if err := write("],\n  \"makespan_us\": %d,\n  \"matches\": %d,\n  \"checksum\": %d,\n  \"lat_avg_us\": %d,\n  \"lat_p95_us\": %d,\n  \"lat_p99_us\": %d,\n  \"qps_x100\": %d,\n  \"moved_ring_x10000\": %d,\n  \"moved_mod_x10000\": %d,\n",
-		rep.MakespanUS, rep.Matches, rep.Checksum, rep.LatAvgUS, rep.LatP95US, rep.LatP99US,
+	if err := write("],\n  \"makespan_us\": %d,\n  \"matches\": %d,\n  \"checksum\": %d,\n  \"lat_avg_us\": %d,\n  \"lat_p50_us\": %d,\n  \"lat_p95_us\": %d,\n  \"lat_p99_us\": %d,\n  \"qps_x100\": %d,\n  \"moved_ring_x10000\": %d,\n  \"moved_mod_x10000\": %d,\n",
+		rep.MakespanUS, rep.Matches, rep.Checksum, rep.LatAvgUS, rep.LatP50US, rep.LatP95US, rep.LatP99US,
 		rep.QPSx100, rep.MovedRingX10000, rep.MovedModX10000); err != nil {
 		return err
 	}

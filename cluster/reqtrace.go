@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"fpgapart/internal/reqtrace"
+)
+
+// capturePlumbing is the per-run causal-tracing state: one recorder per
+// shard (handed to the shard schedulers) plus the router's own flight ring.
+// nil when the run is untraced.
+type capturePlumbing struct {
+	cap    *reqtrace.Capture
+	recs   []*reqtrace.Recorder
+	router *reqtrace.Flight
+}
+
+func newCapturePlumbing(c *reqtrace.Capture, shards int) *capturePlumbing {
+	if c == nil {
+		return nil
+	}
+	p := &capturePlumbing{
+		cap:    c,
+		recs:   make([]*reqtrace.Recorder, shards),
+		router: reqtrace.NewFlight(c.FlightCap),
+	}
+	for s := range p.recs {
+		p.recs[s] = reqtrace.NewRecorder(c.FlightCap)
+	}
+	return p
+}
+
+// record is a nil-safe router flight event.
+func (p *capturePlumbing) record(us int64, kind string, job int, arg int64) {
+	if p == nil {
+		return
+	}
+	p.router.Record(reqtrace.FlightEvent{US: us, Comp: "router", Kind: kind, Job: job, Arg: arg})
+}
+
+// shardRecorder returns shard s's recorder (nil when untraced).
+func (p *capturePlumbing) shardRecorder(s int) *reqtrace.Recorder {
+	if p == nil {
+		return nil
+	}
+	return p.recs[s]
+}
+
+// finishFlight merges the router's and every shard's flight events into the
+// capture — shard components prefixed "s<N>.", shard-local job ids remapped
+// to request indices via Job.Tag — ordered by virtual time (stable: router
+// before shard 0 before shard 1 at equal stamps). Called via defer so a
+// failed run still leaves a postmortem behind.
+func (p *capturePlumbing) finishFlight() {
+	if p == nil {
+		return
+	}
+	merged := p.router.Events()
+	dropped := p.router.Dropped()
+	for s, rec := range p.recs {
+		for _, e := range rec.FlightEvents() {
+			e.Comp = fmt.Sprintf("s%d.%s", s, e.Comp)
+			if e.Job >= 0 {
+				if j := rec.Job(e.Job); j != nil {
+					e.Job = int(j.Tag)
+				}
+			}
+			merged = append(merged, e)
+		}
+		dropped += rec.FlightDropped()
+	}
+	sort.SliceStable(merged, func(a, b int) bool { return merged[a].US < merged[b].US })
+	p.cap.Flight = merged
+	p.cap.FlightDropped = dropped
+}
+
+// buildTraces assembles the per-request causal traces from the router
+// decisions and the shard recorders, in request order.
+func (p *capturePlumbing) buildTraces(reqs []Request, decisions []routed, jobPos []int, seed uint64) {
+	if p == nil {
+		return
+	}
+	traces := make([]reqtrace.RequestTrace, len(reqs))
+	for idx := range reqs {
+		d := &decisions[idx]
+		step := reqtrace.RouterStep{
+			ArrivalUS: reqs[idx].Job.ArrivalUS,
+			AdmitUS:   d.admitUS,
+			Throttled: d.throttled,
+			Shard:     d.shard,
+			Primary:   d.primary,
+		}
+		var job *reqtrace.JobRecord
+		if d.shard >= 0 {
+			job = p.recs[d.shard].Job(jobPos[idx])
+		}
+		traces[idx] = reqtrace.BuildRouted(seed, idx, step, job)
+	}
+	p.cap.Traces = traces
+}

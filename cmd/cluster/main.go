@@ -22,6 +22,7 @@ import (
 
 	"fpgapart/cluster"
 	"fpgapart/internal/faults"
+	"fpgapart/internal/reqtrace"
 	"fpgapart/internal/simtrace"
 )
 
@@ -37,7 +38,8 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   cluster run [-requests n] [-shards n] [-vnodes n] [-fpgas n] [-workers n]
               [-seed n] [-tenants n] [-hot frac] [-quota n] [-window us]
-              [-gap us] [-faulty] [-report file] [-trace file] [-metrics file] [-v]
+              [-gap us] [-faulty] [-report file] [-trace file] [-metrics file]
+              [-reqtrace file] [-flight file] [-v]
 `)
 }
 
@@ -59,6 +61,8 @@ func runCmd(args []string) {
 		report   = fs.String("report", "", "write the full request-level report (JSON) to this file")
 		trace    = fs.String("trace", "", "write the Chrome trace-event timeline to this file")
 		metrics  = fs.String("metrics", "", "write the cluster metrics snapshot (JSON) to this file")
+		reqTr    = fs.String("reqtrace", "", "write per-request latency breakdowns (JSON) to this file and print the critical-path profile")
+		flight   = fs.String("flight", "", "write the flight-recorder postmortem (text) to this file")
 		verbose  = fs.Bool("v", false, "print one line per request")
 	)
 	fs.Parse(args)
@@ -91,9 +95,24 @@ func runCmd(args []string) {
 	}
 	sess := simtrace.NewSession()
 	cfg.Trace = sess
+	var capt *reqtrace.Capture
+	if *reqTr != "" || *flight != "" {
+		capt = &reqtrace.Capture{}
+		cfg.ReqTrace = capt
+	}
 
 	rep, err := cluster.Run(reqs, cfg)
 	if err != nil {
+		// The capture's flight timeline survives the failure — dump the
+		// postmortem before exiting so the fault has causal context.
+		if capt != nil && *flight != "" {
+			cause := err.Error()
+			if werr := writeFile(*flight, func(w io.Writer) error {
+				return capt.WritePostmortem(w, cause)
+			}); werr == nil {
+				fmt.Fprintf(os.Stderr, "cluster: postmortem written to %s\n", *flight)
+			}
+		}
 		fatal(err)
 	}
 
@@ -110,9 +129,8 @@ func runCmd(args []string) {
 	}
 	fmt.Printf("requests=%d done=%d failed=%d throttled=%d rerouted=%d failed_shards=%v\n",
 		rep.Requests, rep.Done, rep.Failed, rep.Throttled, rep.Rerouted, rep.FailedShards)
-	fmt.Printf("latency avg=%dus p95=%dus p99=%dus (log2-bucket p50≈%dus) qps=%d.%02d\n",
-		rep.LatAvgUS, rep.LatP95US, rep.LatP99US,
-		sess.Metrics.Histogram("cluster.latency_us").Quantile(0.5),
+	fmt.Printf("latency avg=%dus p50=%dus p95=%dus p99=%dus qps=%d.%02d\n",
+		rep.LatAvgUS, rep.LatP50US, rep.LatP95US, rep.LatP99US,
 		rep.QPSx100/100, rep.QPSx100%100)
 	fmt.Printf("join of shard %d would move %d.%02d%% of keys (modulo baseline: %d.%02d%%)\n",
 		*shards,
@@ -128,6 +146,28 @@ func runCmd(args []string) {
 		}
 		fmt.Printf("report written to %s\n", *report)
 	}
+	if capt != nil {
+		// Causal layer into the Chrome trace: per-request root spans plus
+		// flow arrows binding each cross-component handoff.
+		reqtrace.EmitChrome(sess, capt.Traces)
+		fmt.Print(reqtrace.Analyze(capt.Traces, 5).Format())
+	}
+	if *reqTr != "" {
+		if err := writeFile(*reqTr, func(w io.Writer) error {
+			return reqtrace.WriteBreakdownJSON(w, capt.Traces)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("request breakdowns written to %s\n", *reqTr)
+	}
+	if *flight != "" {
+		if err := writeFile(*flight, func(w io.Writer) error {
+			return capt.WritePostmortem(w, "none (run completed)")
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("flight postmortem written to %s\n", *flight)
+	}
 	if *trace != "" {
 		if err := writeFile(*trace, sess.Tracer.WriteJSON); err != nil {
 			fatal(err)
@@ -135,7 +175,7 @@ func runCmd(args []string) {
 		fmt.Printf("trace written to %s\n", *trace)
 	}
 	if *metrics != "" {
-		snap := sess.Metrics.Snapshot()
+		snap := sess.Snapshot()
 		if err := writeFile(*metrics, snap.WriteJSON); err != nil {
 			fatal(err)
 		}

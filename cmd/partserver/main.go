@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"fpgapart/internal/faults"
+	"fpgapart/internal/reqtrace"
 	"fpgapart/internal/simtrace"
 	"fpgapart/partserver"
 )
@@ -35,7 +36,8 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   partserver run [-jobs n] [-fpgas n] [-workers n] [-seed n] [-queue n] [-batch n]
-                 [-gap us] [-faulty] [-trace file] [-metrics file] [-v]
+                 [-gap us] [-faulty] [-trace file] [-metrics file]
+                 [-reqtrace file] [-flight file] [-v]
 `)
 }
 
@@ -52,6 +54,8 @@ func runCmd(args []string) {
 		faulty  = fs.Bool("faulty", false, "inject FPGA faults: 10% transient faults plus a mid-trace crash of instance 0")
 		trace   = fs.String("trace", "", "write the Chrome trace-event timeline to this file")
 		metrics = fs.String("metrics", "", "write the scheduler metrics snapshot (JSON) to this file")
+		reqTr   = fs.String("reqtrace", "", "write per-job latency breakdowns (JSON) to this file and print the critical-path profile")
+		flight  = fs.String("flight", "", "write the flight-recorder postmortem (text) to this file")
 		verbose = fs.Bool("v", false, "print one line per job")
 	)
 	fs.Parse(args)
@@ -76,9 +80,24 @@ func runCmd(args []string) {
 	}
 	sess := simtrace.NewSession()
 	cfg.Trace = sess
+	var rec *reqtrace.Recorder
+	if *reqTr != "" || *flight != "" {
+		rec = reqtrace.NewRecorder(0)
+		cfg.Record = rec
+	}
 
 	rep, err := partserver.Run(jl, cfg)
 	if err != nil {
+		// The recorder's flight ring survives the failure — dump the
+		// postmortem before exiting so the fault has causal context.
+		if rec != nil && *flight != "" {
+			cause := err.Error()
+			if werr := writeFile(*flight, func(w io.Writer) error {
+				return reqtrace.WritePostmortem(w, cause, rec.FlightEvents(), rec.FlightDropped())
+			}); werr == nil {
+				fmt.Fprintf(os.Stderr, "partserver: postmortem written to %s\n", *flight)
+			}
+		}
 		fatal(err)
 	}
 
@@ -99,6 +118,28 @@ func runCmd(args []string) {
 		len(rep.Results), rep.MakespanUS, rep.PlacedFPGA, rep.PlacedCPU, rep.Degraded, rep.FailedInstances)
 	fmt.Print(sess.Summary())
 
+	var traces []reqtrace.RequestTrace
+	if rec != nil {
+		traces = reqtrace.BuildJobs(*seed, rec.Jobs())
+		reqtrace.EmitChrome(sess, traces)
+		fmt.Print(reqtrace.Analyze(traces, 5).Format())
+	}
+	if *reqTr != "" {
+		if err := writeFile(*reqTr, func(w io.Writer) error {
+			return reqtrace.WriteBreakdownJSON(w, traces)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("job breakdowns written to %s\n", *reqTr)
+	}
+	if *flight != "" {
+		if err := writeFile(*flight, func(w io.Writer) error {
+			return reqtrace.WritePostmortem(w, "none (run completed)", rec.FlightEvents(), rec.FlightDropped())
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("flight postmortem written to %s\n", *flight)
+	}
 	if *trace != "" {
 		if err := writeFile(*trace, sess.Tracer.WriteJSON); err != nil {
 			fatal(err)
@@ -106,7 +147,7 @@ func runCmd(args []string) {
 		fmt.Printf("trace written to %s\n", *trace)
 	}
 	if *metrics != "" {
-		snap := sess.Metrics.Snapshot()
+		snap := sess.Snapshot()
 		if err := writeFile(*metrics, snap.WriteJSON); err != nil {
 			fatal(err)
 		}

@@ -86,6 +86,12 @@ type Options struct {
 	// broadcast. Matches and Checksum are byte-identical to the
 	// unconstrained join for any budget. ≤ 0 means unlimited.
 	MemoryBudgetBytes int64
+	// FlowID, when nonzero, threads Chrome trace flow arrows between the
+	// join's consecutive phase spans, binding this join's phases into one
+	// causal chain in the trace viewer (ids FlowID, FlowID+1, FlowID+2 are
+	// consumed). Use distinct ids per join when tracing several into one
+	// session.
+	FlowID int64
 }
 
 func (o Options) withDefaults() Options {
@@ -216,7 +222,7 @@ func Join(r, s *workload.Relation, p partition.Partitioner, opts Options) (_ *Re
 	}
 	res.Memory = mem
 	res.Total = res.PartitionR + res.PartitionS + res.Build + res.Probe
-	emitPhaseSpans(opts.Trace, res)
+	emitPhaseSpans(opts.Trace, res, opts.FlowID)
 	return res, nil
 }
 
@@ -262,13 +268,15 @@ func memoryStats(budget *membudget.Budget, spill *membudget.SpillStore, stats *j
 }
 
 // emitPhaseSpans records the join's phase breakdown as "join" spans on a
-// microsecond timeline, for every backend. A nil session is a no-op.
-func emitPhaseSpans(sess *simtrace.Session, res *Result) {
+// microsecond timeline, for every backend. A nonzero flowID additionally
+// threads flow arrows between consecutive phases so the trace viewer draws
+// the join as one causal chain. A nil session is a no-op.
+func emitPhaseSpans(sess *simtrace.Session, res *Result, flowID int64) {
 	if sess == nil {
 		return
 	}
 	ts := int64(0)
-	for _, ph := range []struct {
+	for i, ph := range []struct {
 		name string
 		dur  time.Duration
 	}{
@@ -278,6 +286,11 @@ func emitPhaseSpans(sess *simtrace.Session, res *Result) {
 		{"probe", res.Probe},
 	} {
 		us := ph.dur.Microseconds()
+		if flowID != 0 && i > 0 {
+			id := flowID + int64(i) - 1
+			sess.Tracer.FlowStart("join", "phase", ts, id)
+			sess.Tracer.FlowEnd("join", "phase", ts, id)
+		}
 		sess.Tracer.Span("join", ph.name, ts, us)
 		ts += us
 	}
@@ -436,6 +449,6 @@ func NonPartitioned(r, s *workload.Relation, opts Options) (_ *Result, err error
 		Memory:          mem,
 		Threads:         bp.Threads,
 	}
-	emitPhaseSpans(opts.Trace, res)
+	emitPhaseSpans(opts.Trace, res, opts.FlowID)
 	return res, nil
 }

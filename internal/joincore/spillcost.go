@@ -1,0 +1,14 @@
+package joincore
+
+// SpillRoundTripUS is the virtual-time charge of a budgeted join's spill
+// traffic: each spilled packed tuple (8 B) is written and re-read, charged
+// at the join rate in tuples/s. Kept here so the scheduler's charge and the
+// causal tracer's spill attribution are the same arithmetic by construction.
+func SpillRoundTripUS(spilledBytes int64, joinRate float64) int64 {
+	n := 2 * (spilledBytes / 8) * 1e6
+	if n <= 0 {
+		return 0
+	}
+	r := int64(joinRate)
+	return (n + r - 1) / r
+}

@@ -29,6 +29,7 @@ var DeterministicPathPackages = []string{
 	"fpgapart/internal/rdma",
 	"fpgapart/internal/qpi",
 	"fpgapart/internal/simtrace",
+	"fpgapart/internal/reqtrace",
 	"fpgapart/internal/perfbench",
 	"fpgapart/internal/membudget",
 	"fpgapart/partition",

@@ -68,8 +68,16 @@ var simtraceMutators = map[string]map[string]bool{
 	"Counter":   {"Add": true},
 	"Gauge":     {"Observe": true, "Set": true},
 	"Histogram": {"Observe": true},
-	"Tracer":    {"Span": true, "Instant": true, "Sample": true},
+	"Tracer":    {"Span": true, "Instant": true, "Sample": true, "FlowStart": true, "FlowEnd": true},
 	"Snapshot":  {"With": true},
+}
+
+// reqtraceMutators are the causal-recorder entry points whose arguments land
+// in request traces, flight postmortems, and the gated reqtrace suite:
+// receiver type → method names.
+var reqtraceMutators = map[string]map[string]bool{
+	"Recorder": {"Admit": true, "Attempt": true, "Finish": true, "Event": true},
+	"Flight":   {"Record": true},
 }
 
 // CheckModule implements ModuleAnalyzer.
@@ -134,7 +142,17 @@ func (h *HostTimeTaint) sourceType(t types.Type) (string, bool) {
 }
 
 func (h *HostTimeTaint) sinkCall(fn *types.Func, i int) (string, bool) {
-	if fn.Pkg() == nil || fn.Pkg().Path() != "fpgapart/internal/simtrace" {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	var roster map[string]map[string]bool
+	var label string
+	switch fn.Pkg().Path() {
+	case "fpgapart/internal/simtrace":
+		roster, label = simtraceMutators, "simtrace."
+	case "fpgapart/internal/reqtrace":
+		roster, label = reqtraceMutators, "reqtrace."
+	default:
 		return "", false
 	}
 	sig, ok := fn.Type().(*types.Signature)
@@ -145,14 +163,14 @@ func (h *HostTimeTaint) sinkCall(fn *types.Func, i int) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	methods, ok := simtraceMutators[named.Obj().Name()]
+	methods, ok := roster[named.Obj().Name()]
 	if !ok || !methods[fn.Name()] {
 		return "", false
 	}
 	if i == 0 {
 		return "", false // the receiver itself carries no recorded value
 	}
-	return "simtrace." + named.Obj().Name() + "." + fn.Name(), true
+	return label + named.Obj().Name() + "." + fn.Name(), true
 }
 
 func (h *HostTimeTaint) sinkField(f *types.Var) (string, bool) {

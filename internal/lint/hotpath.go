@@ -62,6 +62,11 @@ var HotPathRoots = []string{
 	"fpgapart/internal/simtrace.Tracer.Span",
 	"fpgapart/internal/simtrace.Tracer.Instant",
 	"fpgapart/internal/simtrace.Tracer.Sample",
+	"fpgapart/internal/reqtrace.Recorder.Admit",
+	"fpgapart/internal/reqtrace.Recorder.Attempt",
+	"fpgapart/internal/reqtrace.Recorder.Finish",
+	"fpgapart/internal/reqtrace.Recorder.Event",
+	"fpgapart/internal/reqtrace.Flight.Record",
 }
 
 // DefaultHotpathAlloc returns the analyzer with the project's hot roots.

@@ -575,3 +575,71 @@ func TestClusterOnAnalyzerRosters(t *testing.T) {
 		t.Error("fpgapart/cluster missing from the boundary-reach set")
 	}
 }
+
+// TestReqtraceFixture runs the determinism, hosttime-taint, and
+// hotpath-alloc analyzers — configured as for the real causal-tracing
+// package — over the known-bad reqtrace twin: host-clock admission and
+// flight stamps (direct and laundered), a map-range merge of per-shard
+// flight timelines, and a marker-declared hot recording wrapper that
+// allocates per event. Marker-checked in both directions, so the fixture
+// also proves the analyzers stay quiet on its clean recording path.
+func TestReqtraceFixture(t *testing.T) {
+	pkg := loadFixture(t, "reqtracefix")
+	det := &Determinism{Paths: map[string]bool{pkg.Path: true}}
+	ht := DefaultHostTimeTaint()
+	ht.DetPath[pkg.Path] = true
+	findings := checkFixtureModule(t, []*Package{pkg}, []Analyzer{det, ht, DefaultHotpathAlloc()})
+	assertFinding(t, findings, "hosttime-taint", "reqtrace.Recorder.Admit")
+	assertFinding(t, findings, "hosttime-taint", "reqtrace.Recorder.Event")
+	assertFinding(t, findings, "hosttime-taint", "reqtrace.Flight.Record")
+	assertFinding(t, findings, "determinism", "range over map")
+	assertFinding(t, findings, "determinism", "time.Now")
+	assertFinding(t, findings, "hotpath-alloc", "literal")
+	if len(findings) < 6 {
+		t.Fatalf("reqtrace fixture produced %d findings, want ≥ 6", len(findings))
+	}
+}
+
+// TestReqtraceOnAnalyzerRosters pins the roster membership the causal layer
+// relies on: fpgapart/internal/reqtrace replays bit-for-bit (deterministic
+// path), its recording entry points are statically allocation-free
+// (hotpath-alloc roots), and host-derived values cannot reach its recorder
+// or flight ring (hosttime-taint sinks).
+func TestReqtraceOnAnalyzerRosters(t *testing.T) {
+	onPath := false
+	for _, p := range DeterministicPathPackages {
+		if p == "fpgapart/internal/reqtrace" {
+			onPath = true
+		}
+	}
+	if !onPath {
+		t.Error("fpgapart/internal/reqtrace missing from DeterministicPathPackages")
+	}
+	roots := DefaultHotpathAlloc().Roots
+	for _, r := range []string{
+		"fpgapart/internal/reqtrace.Recorder.Admit",
+		"fpgapart/internal/reqtrace.Recorder.Attempt",
+		"fpgapart/internal/reqtrace.Recorder.Finish",
+		"fpgapart/internal/reqtrace.Recorder.Event",
+		"fpgapart/internal/reqtrace.Flight.Record",
+	} {
+		if !roots[r] {
+			t.Errorf("%s missing from the hotpath-alloc roots", r)
+		}
+	}
+	for recv, methods := range map[string][]string{
+		"Recorder": {"Admit", "Attempt", "Finish", "Event"},
+		"Flight":   {"Record"},
+	} {
+		for _, m := range methods {
+			if !reqtraceMutators[recv][m] {
+				t.Errorf("reqtrace.%s.%s missing from the hosttime-taint sink roster", recv, m)
+			}
+		}
+	}
+	for _, m := range []string{"FlowStart", "FlowEnd"} {
+		if !simtraceMutators["Tracer"][m] {
+			t.Errorf("simtrace.Tracer.%s missing from the hosttime-taint sink roster", m)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package reqtracefix is the known-bad twin of the causal-tracing layer:
+// host-clock stamps flowing into the request recorder and the flight ring
+// (directly and laundered through a helper), a map-range merge of per-shard
+// flight timelines, a wall-clock deadline on the deterministic path, and a
+// marker-declared hot recording wrapper that allocates per event. The tests
+// configure this package's import path onto the deterministic path, so every
+// construct here must be caught by the roster that guards the real
+// fpgapart/internal/reqtrace package.
+package reqtracefix
+
+import (
+	"time"
+
+	"fpgapart/internal/reqtrace"
+)
+
+// StampAdmission feeds the host clock straight into the recorder's
+// admission stamp — the arrival time every latency breakdown starts from.
+func StampAdmission(r *reqtrace.Recorder, id int) {
+	r.Admit(id, int64(id), time.Now().UnixNano()/1000) // want hosttime-taint determinism
+}
+
+// RecordLaundered routes host time through a helper into a flight event;
+// the taint summary must carry it back to this call site.
+func RecordLaundered(r *reqtrace.Recorder, job int) {
+	r.Event(nowUS(), "sched", "fault", job, 0) // want hosttime-taint
+}
+
+func nowUS() int64 {
+	return time.Now().UnixNano() / 1000 // want determinism
+}
+
+// RingStamp writes host time into the flight ring directly (positional
+// literal: one level of field sensitivity means a keyed literal's taint
+// stays on the field — DESIGN.md §14 records that blind spot).
+func RingStamp(f *reqtrace.Flight, job int) {
+	f.Record(reqtrace.FlightEvent{time.Since(epoch).Microseconds(), "router", "throttle", job, 0}) // want hosttime-taint determinism
+}
+
+var epoch time.Time
+
+// MergeShards gathers per-shard flight timelines by ranging a map — the
+// iteration order scrambles the merged postmortem between runs.
+func MergeShards(shards map[int][]reqtrace.FlightEvent) []reqtrace.FlightEvent {
+	var out []reqtrace.FlightEvent
+	for _, evs := range shards { // want determinism
+		out = append(out, evs...)
+	}
+	return out
+}
+
+// CleanRecord stamps a flight event with virtual time only: the analyzers
+// must stay quiet here.
+func CleanRecord(r *reqtrace.Recorder, us int64, job int) {
+	r.Event(us, "sched", "dispatch", job, 0)
+}
+
+// HotAnnotate is a marker-declared hot wrapper that formats a label per
+// event — a per-event allocation the zero-alloc recording contract forbids.
+//
+//fpgavet:hotpath
+func HotAnnotate(f *reqtrace.Flight, us int64, job int) {
+	labels := []string{"dispatch"} // want hotpath-alloc
+	f.Record(reqtrace.FlightEvent{US: us, Comp: "sched", Kind: labels[0], Job: job})
+}

@@ -53,11 +53,12 @@ const (
 	SuiteSched     = "sched"
 	SuiteMemory    = "memory"
 	SuiteCluster   = "cluster"
+	SuiteReqtrace  = "reqtrace"
 )
 
 // Suites lists every suite in canonical order.
 func Suites() []string {
-	return []string{SuitePartition, SuiteJoin, SuiteDistjoin, SuiteSched, SuiteMemory, SuiteCluster}
+	return []string{SuitePartition, SuiteJoin, SuiteDistjoin, SuiteSched, SuiteMemory, SuiteCluster, SuiteReqtrace}
 }
 
 // BenchFileName returns the canonical file name of a suite's report.
@@ -124,6 +125,8 @@ func RunSuite(suite string, cfg Config) (*Report, error) {
 		records, err = runMemorySuite(cfg)
 	case SuiteCluster:
 		records, err = runClusterSuite(cfg)
+	case SuiteReqtrace:
+		records, err = runReqtraceSuite(cfg)
 	default:
 		return nil, fmt.Errorf("perfbench: unknown suite %q (have %v)", suite, Suites())
 	}

@@ -1,0 +1,222 @@
+package reqtrace
+
+// DefaultFlightCap is the default capacity of a flight-recorder ring:
+// enough causal context around a fault for a postmortem, small enough to
+// stay resident however long the run.
+const DefaultFlightCap = 256
+
+// Attempt is one execution attempt of one job, as charged by the
+// scheduler. The five duration fields tile the attempt's batch interval
+// exactly: StartUS + ReconfigUS + PreWaitUS + ExecUS + SpillUS + DrainUS
+// is the batch completion time, for every job of the batch.
+type Attempt struct {
+	// Resource is the executing timeline ("fpga0", "cpu1", …); FPGA
+	// distinguishes the pools without string comparison.
+	Resource string
+	FPGA     bool
+
+	// StartUS is the batch dispatch time.
+	StartUS int64
+	// ReconfigUS is the batch's circuit-reconfiguration window (0 when the
+	// configuration was already loaded, or on CPU).
+	ReconfigUS int64
+	// PreWaitUS is the summed charge of earlier jobs in the batch.
+	PreWaitUS int64
+	// ExecUS is this job's own charge, spill excluded.
+	ExecUS int64
+	// SpillUS is the spill round-trip share of this job's charge.
+	SpillUS int64
+	// DrainUS is the summed charge of later jobs in the batch.
+	DrainUS int64
+
+	// Aborted marks a scheduler-decided transient fault or crash verdict;
+	// Crash narrows it to a fail-stop; Overflow marks a PAD-mode partition
+	// overflow that degraded the job to CPU.
+	Aborted  bool
+	Crash    bool
+	Overflow bool
+}
+
+// EndUS returns the attempt's batch completion time.
+func (a *Attempt) EndUS() int64 {
+	return a.StartUS + a.ReconfigUS + a.PreWaitUS + a.ExecUS + a.SpillUS + a.DrainUS
+}
+
+// JobRecord accumulates one job's causal history on the scheduler loop.
+type JobRecord struct {
+	ID  int
+	Tag int64
+	// ArrivalUS is the job's arrival on the scheduler's clock (the admit
+	// time when a router fronts the scheduler); DoneUS its terminal time.
+	ArrivalUS int64
+	DoneUS    int64
+	// Status is the terminal status string ("" until Finish).
+	Status   string
+	Attempts []Attempt
+}
+
+// FlightEvent is one entry of the bounded flight recorder: a causal event
+// on the virtual clock, recorded in scheduler-loop (virtual-time) order.
+type FlightEvent struct {
+	// US is the virtual time of the event.
+	US int64
+	// Comp is the component the event happened on ("router", "sched",
+	// "fpga0", …; cluster merges prefix the shard).
+	Comp string
+	// Kind names the event: "dispatch", "done", "fault", "crash",
+	// "degrade", "timeout", "cancel", "failed", "throttle", "failover",
+	// "shard_crash", "unrouted".
+	Kind string
+	// Job is the job id (request index after a cluster merge), -1 when the
+	// event is not job-scoped.
+	Job int
+	// Arg carries per-kind context: the attempt number for scheduler
+	// events, the shard id for router events.
+	Arg int64
+}
+
+// Flight is a fixed-capacity ring of the last K causal events — a hardware
+// flight recorder for the virtual-time scheduler. Nil is a no-op recorder.
+type Flight struct {
+	ring  []FlightEvent
+	next  int
+	total int64
+}
+
+// NewFlight returns a flight recorder holding up to capacity events
+// (DefaultFlightCap when capacity ≤ 0).
+func NewFlight(capacity int) *Flight {
+	if capacity <= 0 {
+		capacity = DefaultFlightCap
+	}
+	return &Flight{ring: make([]FlightEvent, 0, capacity)}
+}
+
+// Record appends an event, overwriting the oldest when full. Nil-safe and
+// allocation-free: the ring is preallocated at construction.
+func (f *Flight) Record(e FlightEvent) {
+	if f == nil {
+		return
+	}
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, e)
+	} else {
+		f.ring[f.next] = e
+	}
+	f.next++
+	if f.next == cap(f.ring) {
+		f.next = 0
+	}
+	f.total++
+}
+
+// Events returns the surviving events oldest-first (freshly allocated).
+func (f *Flight) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(f.ring))
+	if len(f.ring) < cap(f.ring) {
+		return append(out, f.ring...)
+	}
+	out = append(out, f.ring[f.next:]...)
+	return append(out, f.ring[:f.next]...)
+}
+
+// Dropped returns how many events were overwritten by newer ones.
+func (f *Flight) Dropped() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.total - int64(len(f.ring))
+}
+
+// Recorder collects per-job causal records and flight events on the
+// scheduler loop. The zero value of *Recorder (nil) disables recording:
+// every method is a nil-receiver no-op, so an untraced run pays one nil
+// check per call site and allocates nothing (hotpath-alloc enforced).
+type Recorder struct {
+	jobs   []JobRecord
+	flight *Flight
+}
+
+// NewRecorder returns a recorder whose flight ring holds up to flightCap
+// events (DefaultFlightCap when ≤ 0).
+func NewRecorder(flightCap int) *Recorder {
+	return &Recorder{flight: NewFlight(flightCap)}
+}
+
+// Admit registers job id (its caller tag and scheduler arrival time).
+// Jobs are registered in id order; gaps are filled with empty records.
+func (r *Recorder) Admit(id int, tag, arrivalUS int64) {
+	if r == nil || id < 0 {
+		return
+	}
+	for len(r.jobs) <= id {
+		r.jobs = append(r.jobs, JobRecord{ID: len(r.jobs)})
+	}
+	j := &r.jobs[id]
+	j.Tag = tag
+	j.ArrivalUS = arrivalUS
+}
+
+// Attempt records one charged execution attempt of job id.
+func (r *Recorder) Attempt(id int, a Attempt) {
+	if r == nil || id < 0 || id >= len(r.jobs) {
+		return
+	}
+	j := &r.jobs[id]
+	j.Attempts = append(j.Attempts, a)
+}
+
+// Finish stamps job id's terminal status and completion time.
+func (r *Recorder) Finish(id int, status string, doneUS int64) {
+	if r == nil || id < 0 || id >= len(r.jobs) {
+		return
+	}
+	j := &r.jobs[id]
+	j.Status = status
+	j.DoneUS = doneUS
+}
+
+// Event records a flight event. Comp and Kind are expected to be string
+// constants (the flight ring stores them as-is).
+func (r *Recorder) Event(us int64, comp, kind string, job int, arg int64) {
+	if r == nil {
+		return
+	}
+	r.flight.Record(FlightEvent{US: us, Comp: comp, Kind: kind, Job: job, Arg: arg})
+}
+
+// Jobs returns the recorded jobs in id order. The slice aliases the
+// recorder's state; read it only after the run has drained.
+func (r *Recorder) Jobs() []JobRecord {
+	if r == nil {
+		return nil
+	}
+	return r.jobs
+}
+
+// Job returns job id's record (nil when unknown).
+func (r *Recorder) Job(id int) *JobRecord {
+	if r == nil || id < 0 || id >= len(r.jobs) {
+		return nil
+	}
+	return &r.jobs[id]
+}
+
+// FlightEvents returns the surviving flight events oldest-first.
+func (r *Recorder) FlightEvents() []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	return r.flight.Events()
+}
+
+// FlightDropped returns how many flight events were overwritten.
+func (r *Recorder) FlightDropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.flight.Dropped()
+}

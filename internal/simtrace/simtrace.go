@@ -73,6 +73,23 @@ func (s *Session) Window() int64 {
 	return s.SampleWindow
 }
 
+// Snapshot returns the session's metric snapshot, surfacing trace-ring
+// overflow as a `trace.dropped_events` counter. The counter appears only
+// when events were actually dropped, so snapshots of runs that fit the ring
+// stay byte-identical to a plain Metrics.Snapshot() — goldens and BENCH
+// baselines do not move until a run genuinely loses events. Safe on nil
+// (returns nil).
+func (s *Session) Snapshot() Snapshot {
+	if s == nil {
+		return nil
+	}
+	snap := s.Metrics.Snapshot()
+	if d := s.Tracer.Dropped(); d > 0 {
+		snap = snap.With(Metric{Name: "trace.dropped_events", Kind: KindCounter, Value: d})
+	}
+	return snap
+}
+
 // Summary renders the session as a human-readable text table: every metric
 // in sorted name order, then the tracer's occupancy line. Safe on nil
 // (returns a "tracing disabled" note).
@@ -106,6 +123,9 @@ func (s *Session) Summary() string {
 	if s.Tracer != nil {
 		fmt.Fprintf(&b, "trace: %d events recorded (%d dropped, capacity %d)\n",
 			s.Tracer.Len(), s.Tracer.Dropped(), s.Tracer.Cap())
+		if d := s.Tracer.Dropped(); d > 0 {
+			fmt.Fprintf(&b, "WARNING: trace ring overflowed — %d oldest events were overwritten; causal analysis over this trace is incomplete (raise the tracer capacity)\n", d)
+		}
 	}
 	return b.String()
 }

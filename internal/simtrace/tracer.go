@@ -16,6 +16,13 @@ const (
 	// SampleEvent is one point of a counter time series (occupancy,
 	// cumulative lines read); Chrome renders these as counter tracks.
 	SampleEvent
+	// FlowStartEvent opens a causality arrow at (Comp, Ts); Value carries
+	// the flow id that the matching FlowEndEvent closes. Chrome draws the
+	// pair as an arrow between the enclosing spans.
+	FlowStartEvent
+	// FlowEndEvent terminates the causality arrow with the same Value at
+	// (Comp, Ts).
+	FlowEndEvent
 )
 
 // Event is one trace record. Comp and Name are expected to be string
@@ -63,6 +70,20 @@ func (t *Tracer) Instant(comp, name string, ts int64) {
 // Sample records one point of the comp/name counter series at cycle ts.
 func (t *Tracer) Sample(comp, name string, ts, value int64) {
 	t.emit(Event{Kind: SampleEvent, Comp: comp, Name: name, Ts: ts, Value: value})
+}
+
+// FlowStart opens causality arrow id at cycle ts on comp's timeline. The
+// arrow renders from the span enclosing (comp, ts) to the span enclosing
+// the matching FlowEnd. Ids must be unique per trace for Chrome to pair
+// them; derive them from the seeded trace-context, never a counter shared
+// with another session.
+func (t *Tracer) FlowStart(comp, name string, ts, id int64) {
+	t.emit(Event{Kind: FlowStartEvent, Comp: comp, Name: name, Ts: ts, Value: id})
+}
+
+// FlowEnd closes causality arrow id at cycle ts on comp's timeline.
+func (t *Tracer) FlowEnd(comp, name string, ts, id int64) {
+	t.emit(Event{Kind: FlowEndEvent, Comp: comp, Name: name, Ts: ts, Value: id})
 }
 
 func (t *Tracer) emit(e Event) {
@@ -178,6 +199,14 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 			// component so each component's series gets its own track.
 			err = write(",\n  {\"name\": %q, \"ph\": \"C\", \"ts\": %d, \"pid\": 0, \"tid\": %d, \"args\": {\"value\": %d}}",
 				e.Comp+"."+e.Name, e.Ts, tids[e.Comp], e.Value)
+		case FlowStartEvent:
+			err = write(",\n  {\"name\": %q, \"cat\": \"flow\", \"ph\": \"s\", \"id\": %d, \"ts\": %d, \"pid\": 0, \"tid\": %d}",
+				e.Name, e.Value, e.Ts, tids[e.Comp])
+		case FlowEndEvent:
+			// bp:"e" binds the arrowhead to the enclosing slice, the legacy
+			// importer's convention for flow termination.
+			err = write(",\n  {\"name\": %q, \"cat\": \"flow\", \"ph\": \"f\", \"bp\": \"e\", \"id\": %d, \"ts\": %d, \"pid\": 0, \"tid\": %d}",
+				e.Name, e.Value, e.Ts, tids[e.Comp])
 		}
 		if err != nil {
 			return err

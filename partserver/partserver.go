@@ -39,6 +39,7 @@ import (
 
 	"fpgapart/internal/core"
 	"fpgapart/internal/faults"
+	"fpgapart/internal/reqtrace"
 	"fpgapart/internal/simtrace"
 	"fpgapart/partition"
 	"fpgapart/platform"
@@ -122,6 +123,14 @@ type Config struct {
 	// happens on the scheduler loop, in virtual-time order, so traces are
 	// byte-identical across same-seed runs. Nil disables tracing.
 	Trace *simtrace.Session
+
+	// Record attaches a causal request recorder: the scheduler registers
+	// every job, records each charged execution attempt (reconfig, batch
+	// waits, execution, spill, drain) and terminal status, and feeds the
+	// bounded flight-recorder ring. Like Trace, all recording happens on
+	// the scheduler loop in virtual-time order; nil disables recording at
+	// zero cost (nil-receiver no-ops).
+	Record *reqtrace.Recorder
 }
 
 // WithDefaults returns a copy with unset knobs filled in.

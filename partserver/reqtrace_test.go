@@ -1,0 +1,195 @@
+package partserver
+
+import (
+	"bytes"
+	"testing"
+
+	"fpgapart/internal/faults"
+	"fpgapart/internal/reqtrace"
+)
+
+// runRecorded executes one scheduled run with a causal recorder attached and
+// returns the recorder plus the built request traces.
+func runRecorded(t *testing.T, seed uint64, jobs []Job, cfg Config) (*reqtrace.Recorder, []reqtrace.RequestTrace) {
+	t.Helper()
+	rec := reqtrace.NewRecorder(0)
+	cfg.Seed = seed
+	cfg.Record = rec
+	rep, err := Run(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := reqtrace.BuildJobs(seed, rec.Jobs())
+	if len(traces) != len(rep.Results) {
+		t.Fatalf("%d traces for %d results", len(traces), len(rep.Results))
+	}
+	// The recorder must agree with the report on every terminal fact.
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		rt := &traces[i]
+		if rt.Status != r.Status.String() {
+			t.Fatalf("job %d: trace status %q, report %v", i, rt.Status, r.Status)
+		}
+		if rt.ArrivalUS != r.ArrivalUS || rt.DoneUS != r.DoneUS {
+			t.Fatalf("job %d: trace timeline [%d,%d], report [%d,%d]",
+				i, rt.ArrivalUS, rt.DoneUS, r.ArrivalUS, r.DoneUS)
+		}
+	}
+	return rec, traces
+}
+
+// checkConservation pins the decomposition law on every trace: the
+// components sum exactly to the end-to-end virtual latency, and the span
+// chain tiles [ArrivalUS, DoneUS) with no gap or overlap.
+func checkConservation(t *testing.T, traces []reqtrace.RequestTrace) {
+	t.Helper()
+	for i := range traces {
+		rt := &traces[i]
+		if !rt.Conserved() {
+			t.Fatalf("job %d (%s): breakdown sums to %d, latency %d\nbreakdown: %+v",
+				rt.Index, rt.Status, rt.Breakdown.Sum(), rt.LatencyUS, rt.Breakdown)
+		}
+		cursor := rt.ArrivalUS
+		for s := 1; s < len(rt.Spans); s++ {
+			sp := &rt.Spans[s]
+			if sp.StartUS != cursor || sp.DurUS < 0 {
+				t.Fatalf("job %d (%s): span %d (%v) at %d dur %d, cursor %d — timeline not tiled",
+					rt.Index, rt.Status, s, sp.Kind, sp.StartUS, sp.DurUS, cursor)
+			}
+			cursor += sp.DurUS
+		}
+		if cursor != rt.DoneUS {
+			t.Fatalf("job %d (%s): spans end at %d, DoneUS %d", rt.Index, rt.Status, cursor, rt.DoneUS)
+		}
+	}
+}
+
+// TestReqtraceConservationFaultFree: on a clean run every component charge
+// must come from queue wait, batching, and execution alone — and sum exactly.
+func TestReqtraceConservationFaultFree(t *testing.T) {
+	seed := seedFromName(t)
+	jobs, err := GenerateTrace(seed, 20, TraceOptions{MeanGapUS: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, traces := runRecorded(t, seed, jobs, Config{FPGAs: 2, Workers: 2})
+	checkConservation(t, traces)
+	for i := range traces {
+		if rw := traces[i].Breakdown[reqtrace.CompRetryWait]; rw != 0 {
+			t.Fatalf("job %d: %d µs retry wait on a fault-free run", i, rw)
+		}
+	}
+}
+
+// TestReqtraceConservationUnderFaults: conservation must survive transient
+// faults, a fail-stop crash, a straggler, and CPU degradation — the charged
+// retry attempts and requeue gaps all land in the decomposition.
+func TestReqtraceConservationUnderFaults(t *testing.T) {
+	seed := seedFromName(t)
+	jobs, err := GenerateTrace(seed, 24, TraceOptions{MeanGapUS: 10, MinTuples: 512, MaxTuples: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, traces := runRecorded(t, seed, jobs, Config{
+		FPGAs: 2, Workers: 2,
+		Faults: &faults.Scenario{
+			Seed:        seed,
+			DropProb:    0.45,
+			CorruptProb: 0.45,
+			Crashes:     []faults.Crash{{Node: 1, AfterFraction: 0.0}},
+			Stragglers:  []faults.Straggler{{Node: 0, Factor: 2}},
+		},
+	})
+	checkConservation(t, traces)
+	retried := false
+	for i := range traces {
+		if traces[i].Breakdown[reqtrace.CompRetryWait] > 0 || len(rec.Job(i).Attempts) > 1 {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Fatal("fault scenario produced no retries; the test exercises nothing")
+	}
+	// The flight recorder must have witnessed the faults.
+	var faults, crashes int
+	for _, e := range rec.FlightEvents() {
+		switch e.Kind {
+		case "fault":
+			faults++
+		case "crash":
+			crashes++
+		}
+	}
+	if faults == 0 && crashes == 0 && rec.FlightDropped() == 0 {
+		t.Fatal("no fault or crash event reached the flight recorder")
+	}
+}
+
+// TestReqtraceConservationWithDeadlines: jobs that time out or are cancelled
+// while queued (including after aborted attempts) must still decompose
+// exactly — the trailing wait is charged as queue or retry wait.
+func TestReqtraceConservationWithDeadlines(t *testing.T) {
+	seed := seedFromName(t)
+	jobs, err := GenerateTrace(seed, 12, TraceOptions{MeanGapUS: 1, MinTuples: 4096, MaxTuples: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		jobs[i].ArrivalUS = 0
+		switch i % 3 {
+		case 1:
+			jobs[i].TimeoutUS = 1
+		case 2:
+			jobs[i].CancelAtUS = 2
+		}
+	}
+	_, traces := runRecorded(t, seed, jobs, Config{
+		FPGAs: 1, Workers: 1, QueueDepth: 2, BatchMax: 1,
+	})
+	checkConservation(t, traces)
+	sawDeadline := false
+	for i := range traces {
+		if traces[i].Status == "timedout" || traces[i].Status == "cancelled" {
+			sawDeadline = true
+		}
+	}
+	if !sawDeadline {
+		t.Fatal("no job hit its deadline; the test exercises nothing")
+	}
+}
+
+// TestReqtraceByteIdentical: three fresh recorded runs of the same seed must
+// render byte-identical breakdown JSON, critical-path reports, and flight
+// postmortems — fault-free and faulty. The CI race job runs this under
+// -race, covering the worker pool.
+func TestReqtraceByteIdentical(t *testing.T) {
+	seed := seedFromName(t)
+	render := func(faulty bool) []byte {
+		jobs, err := GenerateTrace(seed, 18, TraceOptions{MeanGapUS: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{FPGAs: 2, Workers: 2}
+		if faulty {
+			cfg.Faults = faultyScenario(seed)
+		}
+		rec, traces := runRecorded(t, seed, jobs, cfg)
+		var b bytes.Buffer
+		if err := reqtrace.WriteBreakdownJSON(&b, traces); err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(reqtrace.Analyze(traces, 5).Format())
+		if err := reqtrace.WritePostmortem(&b, "test", rec.FlightEvents(), rec.FlightDropped()); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	for _, faulty := range []bool{false, true} {
+		first := render(faulty)
+		for run := 2; run <= 3; run++ {
+			if got := render(faulty); !bytes.Equal(first, got) {
+				t.Fatalf("faulty=%v: run %d renders different causal output", faulty, run)
+			}
+		}
+	}
+}

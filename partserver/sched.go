@@ -8,6 +8,7 @@ import (
 	"fpgapart/internal/faults"
 	"fpgapart/internal/joincore"
 	"fpgapart/internal/model"
+	"fpgapart/internal/reqtrace"
 	"fpgapart/partition"
 )
 
@@ -53,6 +54,7 @@ func (j *jobState) deadlineUS() int64 {
 type batch struct {
 	jobs     []*jobState
 	durs     []int64 // per-job charge of this attempt, filled at harvest
+	spills   []int64 // spill round-trip portion of each charge
 	reconfig bool
 	aborted  bool // scheduler-decided transient fault or crash
 	crash    bool
@@ -199,6 +201,9 @@ func (s *scheduler) run() (*Report, error) {
 	}()
 
 	s.count("sched.jobs_submitted", int64(len(s.jobs)))
+	for _, j := range s.jobs {
+		s.cfg.Record.Admit(j.id, j.spec.Tag, j.arrivalUS)
+	}
 	for {
 		s.admitWaiting()
 		s.dispatchLoop()
@@ -370,6 +375,7 @@ func (s *scheduler) dispatch(j *jobState, qi int, r *resource) {
 		}
 		bj.placement = r.kind
 		bj.instance = r.idx
+		s.cfg.Record.Event(s.now, r.comp, "dispatch", bj.id, int64(bj.attempts))
 	}
 	s.batches++
 	r.inflight = b
@@ -455,6 +461,8 @@ func (s *scheduler) failUnschedulable(q *[]*jobState) {
 		j.status = StatusFailed
 		j.doneUS = s.now
 		j.errMsg = "no resource can run this job"
+		s.cfg.Record.Finish(j.id, "failed", s.now)
+		s.cfg.Record.Event(s.now, "sched", "failed", j.id, int64(j.attempts))
 		s.count("sched.jobs_failed", 1)
 	}
 	*q = nil
@@ -473,9 +481,13 @@ func (s *scheduler) expire(q *[]*jobState) {
 		j.doneUS = s.now
 		if j.spec.TimeoutUS > 0 && j.spec.ArrivalUS+j.spec.TimeoutUS <= s.now {
 			j.status = StatusTimedOut
+			s.cfg.Record.Finish(j.id, "timedout", s.now)
+			s.cfg.Record.Event(s.now, "sched", "timeout", j.id, int64(j.attempts))
 			s.count("sched.jobs_timeout", 1)
 		} else {
 			j.status = StatusCancelled
+			s.cfg.Record.Finish(j.id, "cancelled", s.now)
+			s.cfg.Record.Event(s.now, "sched", "cancel", j.id, int64(j.attempts))
 			s.count("sched.jobs_cancelled", 1)
 		}
 		j.placement = PlacedNone
@@ -495,8 +507,9 @@ func (s *scheduler) batchDuration(b *batch, r *resource) int64 {
 		total += s.cfg.ReconfigUS
 	}
 	b.durs = make([]int64, len(b.jobs))
+	b.spills = make([]int64, len(b.jobs))
 	for i, j := range b.jobs {
-		var us int64
+		var us, spill int64
 		if r.kind == PlacedFPGA {
 			us = ceilDiv(j.out.cycles*1e6, int64(s.cfg.Platform.FPGAClockHz))
 			us = int64(float64(us) * r.straggle)
@@ -509,20 +522,22 @@ func (s *scheduler) batchDuration(b *batch, r *resource) int64 {
 		}
 		if j.spec.Probe != nil && j.out.ok {
 			us += ceilDiv((int64(j.spec.Rel.NumTuples)+int64(j.spec.Probe.NumTuples))*1e6, int64(s.cfg.JoinRate))
-			if j.out.spilledBytes > 0 {
-				// Spill round trip: each spilled packed tuple (8 B) is
-				// written and re-read, charged at the join rate.
-				us += ceilDiv(2*(j.out.spilledBytes/8)*1e6, int64(s.cfg.JoinRate))
-			}
+			// Spill round trip: each spilled packed tuple (8 B) is written
+			// and re-read, charged at the join rate.
+			spill = joincore.SpillRoundTripUS(j.out.spilledBytes, s.cfg.JoinRate)
+			us += spill
 		}
 		if b.aborted {
-			// The attempt stops part-way: charge the abort fraction.
+			// The attempt stops part-way: charge the abort fraction. The
+			// whole rescaled charge is attributed to execution.
 			us = int64(float64(us) * s.cfg.AbortFraction)
+			spill = 0
 		}
 		if us < 1 {
 			us = 1
 		}
 		b.durs[i] = us
+		b.spills[i] = spill
 		j.execUS += us
 		total += us
 	}
@@ -538,6 +553,36 @@ func (s *scheduler) complete(r *resource) {
 	b := r.inflight
 	r.inflight = nil
 	r.busyUS += b.doneUS - b.startUS
+
+	if s.cfg.Record != nil {
+		// Attempt records: the five duration fields tile the batch interval
+		// per job (reconfig + earlier jobs + own charge + later jobs =
+		// doneUS − startUS for every member), the identity the causal
+		// tracer's conservation law rests on.
+		reconfig := int64(0)
+		if b.reconfig {
+			reconfig = s.cfg.ReconfigUS
+		}
+		total := b.doneUS - b.startUS
+		var pre int64
+		for i, j := range b.jobs {
+			spill := b.spills[i]
+			s.cfg.Record.Attempt(j.id, reqtrace.Attempt{
+				Resource:   r.comp,
+				FPGA:       r.kind == PlacedFPGA,
+				StartUS:    b.startUS,
+				ReconfigUS: reconfig,
+				PreWaitUS:  pre,
+				ExecUS:     b.durs[i] - spill,
+				SpillUS:    spill,
+				DrainUS:    total - reconfig - pre - b.durs[i],
+				Aborted:    b.aborted,
+				Crash:      b.crash,
+				Overflow:   !b.aborted && j.out.overflow,
+			})
+			pre += b.durs[i]
+		}
+	}
 
 	if s.cfg.Trace != nil {
 		cursor := b.startUS
@@ -559,12 +604,14 @@ func (s *scheduler) complete(r *resource) {
 			if s.cfg.Trace != nil {
 				s.cfg.Trace.Tracer.Instant(r.comp, "crash", b.doneUS)
 			}
+			s.cfg.Record.Event(b.doneUS, r.comp, "crash", b.jobs[0].id, int64(len(b.jobs)))
 		} else {
 			s.nfaults++
 			s.count("sched.fpga_faults", 1)
 			if s.cfg.Trace != nil {
 				s.cfg.Trace.Tracer.Instant(r.comp, "fault", b.doneUS)
 			}
+			s.cfg.Record.Event(b.doneUS, r.comp, "fault", b.jobs[0].id, int64(len(b.jobs)))
 		}
 		for _, j := range b.jobs {
 			s.requeue(j, b.crash)
@@ -581,6 +628,8 @@ func (s *scheduler) complete(r *resource) {
 			if j.doneUS > s.makespan {
 				s.makespan = j.doneUS
 			}
+			s.cfg.Record.Finish(j.id, "done", b.doneUS)
+			s.cfg.Record.Event(b.doneUS, r.comp, "done", j.id, int64(j.attempts))
 			s.count("sched.jobs_done", 1)
 			if r.kind == PlacedFPGA {
 				s.count("sched.placed_fpga", 1)
@@ -600,12 +649,14 @@ func (s *scheduler) complete(r *resource) {
 			j.forceCPU = true
 			j.degraded = true
 			s.count("sched.overflow_degrades", 1)
+			s.cfg.Record.Event(b.doneUS, r.comp, "degrade", j.id, int64(j.attempts))
 			s.requeueFront(j)
 		case r.kind == PlacedFPGA:
 			// Simulator fault on the FPGA run: degrade to CPU.
 			j.forceCPU = true
 			j.degraded = true
 			s.count("sched.sim_faults", 1)
+			s.cfg.Record.Event(b.doneUS, r.comp, "degrade", j.id, int64(j.attempts))
 			s.requeueFront(j)
 		default:
 			// CPU execution failed: no further fallback.
@@ -616,6 +667,8 @@ func (s *scheduler) complete(r *resource) {
 				s.makespan = j.doneUS
 			}
 			j.errMsg = j.out.errMsg
+			s.cfg.Record.Finish(j.id, "failed", b.doneUS)
+			s.cfg.Record.Event(b.doneUS, r.comp, "failed", j.id, int64(j.attempts))
 			s.count("sched.jobs_failed", 1)
 		}
 	}
