@@ -94,7 +94,8 @@ fuzz:
 		./internal/cpupart:FuzzBufferedPartition \
 		./internal/cpupart:FuzzBufferedAgainstHistogram \
 		./hashjoin:FuzzJoinUnderBudget \
-		./cluster:FuzzClusterRoute; do \
+		./cluster:FuzzClusterRoute \
+		./cluster:FuzzMembershipSchedule; do \
 		pkg=$${t%%:*}; target=$${t##*:}; \
 		$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"fpgapart/internal/faults"
@@ -25,6 +26,23 @@ func guardSimulator(err *error) {
 	}
 }
 
+// HedgeAuto selects the running-percentile hedge deadline: a request is
+// hedged when its primary response is outstanding past the p95 of all
+// responses completed by its admission time (deterministic — the percentile
+// is computed over virtual-time completions, which are themselves pure
+// functions of stream, config and seed). Fewer than hedgeMinSamples
+// completed responses means no hedge: the estimate is not trustworthy yet.
+const HedgeAuto int64 = -1
+
+// hedgeMinSamples gates the HedgeAuto estimator until it has seen enough
+// completed responses to make p95 meaningful.
+const hedgeMinSamples = 8
+
+// hedgeLaneSalt separates the hedge lane's per-shard scheduler seeds from
+// the primary lane's, so a replica's hedge execution is an independent —
+// but still fully deterministic — draw.
+const hedgeLaneSalt uint64 = 0x68656467 // "hedg"
+
 // Request is one tenant request entering the cluster frontend: a routing
 // key, the tenant it bills to, and the partserver job to execute on
 // whichever shard the ring selects. Job.ArrivalUS is the request's virtual
@@ -40,7 +58,8 @@ type Request struct {
 }
 
 // Config describes one cluster deployment: the shard pool, the ring, the
-// per-tenant admission quota, and the fault scenario.
+// per-tenant admission quota, the membership churn schedule, replica
+// routing, and the fault scenario.
 type Config struct {
 	// Shards is the number of partserver shards (default 3), ids 0..Shards-1.
 	Shards int
@@ -60,15 +79,39 @@ type Config struct {
 	// QuotaWindowUS is the admission window length (default 1000 µs).
 	QuotaWindowUS int64
 
+	// Schedule lists live membership changes (shard joins and drains) at
+	// virtual times. Requests admitted at or after an event route on the
+	// post-event ring; only the key ranges whose owner changed re-route, and
+	// they re-route behind a deterministic handoff barrier: the new owner
+	// serves a moved key only after the old owner has drained the work it
+	// had already admitted for the moved ranges. In-flight jobs always
+	// complete on their admission-time owner. Empty means a static ring.
+	Schedule MembershipSchedule
+
+	// Replicas is the replica-set width R (default 1): each key's replica
+	// set is the first R distinct members clockwise from its hash, the
+	// primary first. Hedged reads go to the first non-primary replica.
+	Replicas int
+
+	// HedgeUS enables hedged reads when nonzero (requires Replicas ≥ 2):
+	// a request whose primary response is outstanding past the deadline is
+	// re-issued to its first replica, the first completion wins, and the
+	// loser is cancelled through the scheduler's cancel path. A positive
+	// value is a fixed virtual-time deadline in µs; HedgeAuto (-1) tracks
+	// the running p95 of completed responses. 0 disables hedging.
+	HedgeUS int64
+
 	// Seed drives per-shard scheduler seeding (default 1).
 	Seed uint64
 
-	// Faults optionally fail-stops shards: Crashes entries with Node = shard
+	// Faults optionally degrades shards: Crashes entries with Node = shard
 	// id kill that shard's accept path after AfterFraction of its fair share
 	// of the request stream; later requests fail over clockwise around the
 	// ring. Jobs already admitted to a crashing shard still complete (the
-	// crash models the frontend, not the workers). Other scenario fields do
-	// not apply at the routing tier and are ignored.
+	// crash models the frontend, not the workers). Stragglers entries with
+	// Node = shard id slow every FPGA instance of that shard by Factor —
+	// the straggler profile hedged reads are measured against. Other
+	// scenario fields do not apply at the routing tier and are ignored.
 	Faults *faults.Scenario
 
 	// Trace attaches a simtrace session: the router reports request routing
@@ -81,10 +124,11 @@ type Config struct {
 	// ReqTrace attaches a causal request capture: every request gets a
 	// deterministic trace context (TraceID derived from Seed and request
 	// index), an exact virtual-time latency decomposition spanning router
-	// quota deferral, shard queueing, batching, reconfiguration, execution,
-	// spill and retries, and a span chain for critical-path analysis. The
-	// capture's flight recorder is filled even when the run fails — the
-	// postmortem case. Nil disables capture at zero cost.
+	// quota deferral, migration handoff, hedge wait, shard queueing,
+	// batching, reconfiguration, execution, spill and retries, and a span
+	// chain for critical-path analysis. The capture's flight recorder is
+	// filled even when the run fails — the postmortem case. Nil disables
+	// capture at zero cost.
 	ReqTrace *reqtrace.Capture
 }
 
@@ -102,6 +146,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.QuotaWindowUS == 0 {
 		c.QuotaWindowUS = 1000
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -127,6 +174,18 @@ func (c *Config) Validate() (err error) {
 	if c.QuotaWindowUS < 1 {
 		return fmt.Errorf("cluster: QuotaWindowUS %d < 1", c.QuotaWindowUS)
 	}
+	if err := c.Schedule.Validate(c.Shards); err != nil {
+		return err
+	}
+	if c.Replicas < 1 {
+		return fmt.Errorf("cluster: Replicas %d < 1", c.Replicas)
+	}
+	if c.HedgeUS < HedgeAuto {
+		return fmt.Errorf("cluster: HedgeUS %d < %d (HedgeAuto)", c.HedgeUS, HedgeAuto)
+	}
+	if c.HedgeUS != 0 && c.Replicas < 2 {
+		return fmt.Errorf("cluster: hedged reads need Replicas ≥ 2, have %d", c.Replicas)
+	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
 			return fmt.Errorf("cluster: %w", err)
@@ -134,6 +193,11 @@ func (c *Config) Validate() (err error) {
 		for _, cr := range c.Faults.Crashes {
 			if cr.Node >= c.Shards {
 				return fmt.Errorf("cluster: crash of shard %d outside pool of %d", cr.Node, c.Shards)
+			}
+		}
+		for _, st := range c.Faults.Stragglers {
+			if st.Node >= c.Shards {
+				return fmt.Errorf("cluster: straggler shard %d outside pool of %d", st.Node, c.Shards)
 			}
 		}
 	}
@@ -162,6 +226,504 @@ type routed struct {
 	primary   int // ring owner before failover
 	admitUS   int64
 	throttled bool
+	// epoch is the membership epoch at admission; handoffUS the drain-barrier
+	// wait imposed because the request's key had just moved owner.
+	epoch     int
+	handoffUS int64
+	// hedged/hedgeShard/hedgeIssueUS describe a replica hedge; hedgeWon marks
+	// the hedge lane finishing strictly first, hedgeDoneUS its completion.
+	hedged       bool
+	hedgeShard   int
+	hedgeIssueUS int64
+	hedgeWon     bool
+	hedgeDoneUS  int64
+}
+
+// runState is the working state of one cluster run, threaded through the
+// route → migrate → serve → hedge → gather phases. Every field is a pure
+// function of (requests, config, seed) by the time the phase that fills it
+// returns — the determinism argument is phase-local.
+type runState struct {
+	reqs []Request
+	cfg  Config
+
+	// rings[e] is the ring of membership epoch e; events the schedule.
+	rings  []*Ring
+	events MembershipSchedule
+	// numShards sizes every per-shard array: the largest shard id that is
+	// ever a ring member, plus one. Departed shards keep their slot, so the
+	// report can state a drained shard's cumulative load.
+	numShards int
+
+	inj      *faults.Injector
+	dieAfter []int // -1: never crashes
+	dead     []bool
+	crashUS  []int64
+	// shardScen is the per-shard partserver fault scenario (stragglers
+	// mapped onto the shard's FPGA instances); nil for healthy shards.
+	shardScen []*faults.Scenario
+
+	order     []int
+	decisions []routed
+	jobPos    []int // position within the shard's job list (-1: unrouted)
+	served    []int
+	shardJobs [][]partserver.Job // admission-time jobs (ArrivalUS = admit)
+
+	// barriers[j][o] is the handoff barrier of membership event j for old
+	// owner o: the virtual time o drains the work it had admitted for the
+	// ranges event j moved away. handoff[idx] is the per-request wait.
+	barriers [][]int64
+	handoff  []int64
+
+	throttleDelayUS int64
+
+	shardReps []*partserver.Report
+	finDone   []int64
+	finStatus []partserver.Status
+
+	// Hedge lane: per-replica job lists, positions, reports, and the
+	// per-request lane result (nil when the request was not hedged).
+	laneJobs [][]partserver.Job
+	lanePos  []int
+	laneReps []*partserver.Report
+	laneRes  []*partserver.JobResult
+
+	plumb *capturePlumbing
+}
+
+func newRunState(reqs []Request, cfg Config) (*runState, error) {
+	rings, err := cfg.Schedule.epochs(cfg.Shards, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	st := &runState{
+		reqs:      reqs,
+		cfg:       cfg,
+		rings:     rings,
+		events:    cfg.Schedule,
+		numShards: cfg.Schedule.maxMember(cfg.Shards) + 1,
+	}
+	if cfg.Faults != nil {
+		st.inj, err = faults.New(*cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+	}
+
+	// Crash thresholds: a crashing shard accepts exactly
+	// floor(AfterFraction · fair share) requests, then fail-stops its accept
+	// path. AfterFraction 0 is dead on arrival. Only the initial pool can
+	// crash (Validate pins crash ids below Shards); joined shards keep the
+	// zero values.
+	share := (len(reqs) + cfg.Shards - 1) / cfg.Shards
+	st.dieAfter = make([]int, st.numShards)
+	st.dead = make([]bool, st.numShards)
+	st.crashUS = make([]int64, st.numShards)
+	st.shardScen = make([]*faults.Scenario, st.numShards)
+	for s := 0; s < st.numShards; s++ {
+		st.dieAfter[s] = -1
+		if st.inj == nil || s >= cfg.Shards {
+			continue
+		}
+		if f, ok := st.inj.CrashFraction(s); ok {
+			st.dieAfter[s] = int(f * float64(share))
+			if st.dieAfter[s] == 0 {
+				st.dead[s] = true
+			}
+		}
+		// A straggling shard straggles all of its FPGA instances: the
+		// cluster-level Straggler.Node names the shard, the shard-level
+		// scenario names the instances.
+		if f := st.inj.StraggleFactor(s); f > 1 {
+			scen := &faults.Scenario{Seed: mix(cfg.Seed ^ uint64(s+1))}
+			for i := 0; i < cfg.ShardFPGAs; i++ {
+				scen.Stragglers = append(scen.Stragglers, faults.Straggler{Node: i, Factor: f})
+			}
+			st.shardScen[s] = scen
+		}
+	}
+
+	// Admission order: (ArrivalUS, index), the virtual-time order requests
+	// reach the router.
+	st.order = make([]int, len(reqs))
+	for i := range st.order {
+		st.order[i] = i
+	}
+	for i := 1; i < len(st.order); i++ {
+		// Insertion sort keeps the tie-break (index order) explicit and
+		// allocation-free; request streams are admission-rate bounded.
+		for k := i; k > 0; k-- {
+			a, b := st.order[k-1], st.order[k]
+			if reqs[a].Job.ArrivalUS < reqs[b].Job.ArrivalUS ||
+				(reqs[a].Job.ArrivalUS == reqs[b].Job.ArrivalUS && a < b) {
+				break
+			}
+			st.order[k-1], st.order[k] = b, a
+		}
+	}
+
+	st.decisions = make([]routed, len(reqs))
+	st.jobPos = make([]int, len(reqs))
+	st.served = make([]int, st.numShards)
+	st.shardJobs = make([][]partserver.Job, st.numShards)
+	st.handoff = make([]int64, len(reqs))
+	st.lanePos = make([]int, len(reqs))
+	st.laneRes = make([]*partserver.JobResult, len(reqs))
+	for i := range st.lanePos {
+		st.lanePos[i] = -1
+	}
+	st.plumb = newCapturePlumbing(cfg.ReqTrace, st.numShards)
+	return st, nil
+}
+
+// route makes every admission decision in (ArrivalUS, index) order:
+// per-tenant quota deferral first (which fixes the admit time and thereby
+// the membership epoch), then crash bookkeeping, then ring lookup on the
+// epoch's ring with clockwise failover past dead shards.
+func (st *runState) route() {
+	for j := range st.events {
+		ev := &st.events[j]
+		kind := "shard_join"
+		if ev.Kind == Drain {
+			kind = "shard_drain"
+		}
+		st.plumb.record(ev.AtUS, kind, -1, int64(ev.Shard))
+	}
+
+	quota := make(map[quotaKey]int)
+	alive := func(s int) bool { return !st.dead[s] }
+	for _, idx := range st.order {
+		r := &st.reqs[idx]
+		d := routed{shard: -1, hedgeShard: -1}
+
+		// Per-tenant admission quota: defer over-quota requests to the next
+		// window until one has room. Deferral preserves the work (and thus
+		// checksum parity with the single-node reference); it only delays it.
+		admit := r.Job.ArrivalUS
+		if st.cfg.TenantQuota > 0 {
+			for {
+				w := admit / st.cfg.QuotaWindowUS
+				k := quotaKey{tenant: r.Tenant, window: w}
+				if quota[k] < st.cfg.TenantQuota {
+					quota[k]++
+					break
+				}
+				admit = (w + 1) * st.cfg.QuotaWindowUS
+				d.throttled = true
+			}
+		}
+		if d.throttled {
+			st.throttleDelayUS += admit - r.Job.ArrivalUS
+			st.plumb.record(admit, "throttle", idx, admit-r.Job.ArrivalUS)
+		}
+		d.admitUS = admit
+		d.epoch = st.events.epochAt(admit)
+		ring := st.rings[d.epoch]
+		d.primary = ring.Shard(r.Key)
+
+		// Ring lookup with clockwise failover past fail-stopped shards.
+		shard, ok := ring.ShardSkipping(r.Key, alive)
+		st.jobPos[idx] = -1
+		if ok {
+			d.shard = shard
+			if shard != d.primary {
+				st.plumb.record(admit, "failover", idx, int64(shard))
+			}
+			job := r.Job
+			job.Tag = int64(idx)
+			job.ArrivalUS = admit
+			st.jobPos[idx] = len(st.shardJobs[shard])
+			st.shardJobs[shard] = append(st.shardJobs[shard], job)
+			st.served[shard]++
+			if st.dieAfter[shard] >= 0 && st.served[shard] >= st.dieAfter[shard] && !st.dead[shard] {
+				st.dead[shard] = true
+				st.crashUS[shard] = admit
+				st.plumb.record(admit, "shard_crash", -1, int64(shard))
+			}
+		} else {
+			st.plumb.record(admit, "unrouted", idx, int64(d.primary))
+		}
+		st.decisions[idx] = d
+	}
+}
+
+// migrate computes the handoff barriers of the membership schedule, one
+// event at a time in schedule order. For event j the barrier of old owner o
+// is the completion time of the last request o had admitted for the ranges
+// event j moved away — measured on a planning pass that replays the shards
+// with the barriers of events < j already applied, using the exact seeds of
+// the real serve pass. Requests admitted after the event whose key moved
+// then wait until their old owner's barrier before arriving at the new
+// owner ("plan-then-execute": the barrier is a pure function of stream,
+// config and seed, never of live queue state).
+func (st *runState) migrate() error {
+	if len(st.events) == 0 {
+		return nil
+	}
+	st.barriers = make([][]int64, len(st.events))
+	for j := range st.events {
+		st.barriers[j] = make([]int64, st.numShards)
+		reps, err := st.runShards(st.jobsWithHandoff(), nil, 0, "")
+		if err != nil {
+			return fmt.Errorf("cluster: planning membership event %d: %w", j, err)
+		}
+		refDone := make([]int64, len(st.reqs))
+		for s := range reps {
+			if reps[s] == nil {
+				continue
+			}
+			for k := range reps[s].Results {
+				jr := &reps[s].Results[k]
+				refDone[jr.Tag] = jr.DoneUS
+			}
+		}
+		oldRing, newRing := st.rings[j], st.rings[j+1]
+		// Barrier: drain point of each old owner's moved ranges.
+		for idx := range st.reqs {
+			d := &st.decisions[idx]
+			if d.shard < 0 || d.epoch > j {
+				continue
+			}
+			key := st.reqs[idx].Key
+			o := oldRing.Shard(key)
+			if d.shard != o || newRing.Shard(key) == o {
+				continue
+			}
+			if refDone[idx] > st.barriers[j][o] {
+				st.barriers[j][o] = refDone[idx]
+			}
+		}
+		// Handoff: post-event requests for moved keys wait out the barrier.
+		// A later event that moves the key again supersedes this one (its
+		// pass re-applies over these values).
+		for idx := range st.reqs {
+			d := &st.decisions[idx]
+			if d.shard < 0 || d.epoch <= j {
+				continue
+			}
+			key := st.reqs[idx].Key
+			o, n := oldRing.Shard(key), newRing.Shard(key)
+			if o == n || d.shard != n {
+				continue
+			}
+			w := st.barriers[j][o] - d.admitUS
+			if w < 0 {
+				w = 0
+			}
+			d.handoffUS = w
+			st.handoff[idx] = w
+			st.plumb.record(d.admitUS, "range_moved", idx, int64(n))
+		}
+	}
+	return nil
+}
+
+// jobsWithHandoff returns the per-shard job lists with each migrating
+// request's shard arrival pushed to admit + handoff. Zero-handoff runs
+// return the admission-time lists unchanged (and uncopied).
+func (st *runState) jobsWithHandoff() [][]partserver.Job {
+	delayed := false
+	for idx := range st.handoff {
+		if st.handoff[idx] > 0 {
+			delayed = true
+			break
+		}
+	}
+	if !delayed {
+		return st.shardJobs
+	}
+	jobs := make([][]partserver.Job, st.numShards)
+	for s := range jobs {
+		jobs[s] = append([]partserver.Job(nil), st.shardJobs[s]...)
+	}
+	for idx := range st.handoff {
+		if st.handoff[idx] <= 0 {
+			continue
+		}
+		d := &st.decisions[idx]
+		jobs[d.shard][st.jobPos[idx]].ArrivalUS = d.admitUS + st.handoff[idx]
+	}
+	return jobs
+}
+
+// runShards runs one partserver deployment per non-empty shard, on real
+// concurrent goroutines, and harvests in shard-index order. salt separates
+// the seed streams of the serve and hedge lanes (0 is the primary lane);
+// lane prefixes the shards' causal-record components; rec supplies the
+// per-shard recorder (nil for unrecorded planning passes).
+func (st *runState) runShards(jobs [][]partserver.Job, rec func(int) *reqtrace.Recorder, salt uint64, lane string) ([]*partserver.Report, error) {
+	reps := make([]*partserver.Report, st.numShards)
+	errs := make([]error, st.numShards)
+	var wg sync.WaitGroup
+	for s := 0; s < st.numShards; s++ {
+		if len(jobs[s]) == 0 {
+			continue
+		}
+		var r *reqtrace.Recorder
+		if rec != nil {
+			r = rec(s)
+		}
+		wg.Add(1)
+		go func(s int, r *reqtrace.Recorder) {
+			defer wg.Done()
+			seed := mix(st.cfg.Seed ^ uint64(s+1) ^ salt)
+			if seed == 0 {
+				seed = 1
+			}
+			reps[s], errs[s] = partserver.Run(jobs[s], partserver.Config{
+				FPGAs:   st.cfg.ShardFPGAs,
+				Workers: st.cfg.ShardWorkers,
+				Seed:    seed,
+				Faults:  st.shardScen[s],
+				Lane:    lane,
+				Record:  r,
+			})
+		}(s, r)
+	}
+	wg.Wait()
+	for s := 0; s < st.numShards; s++ {
+		if errs[s] != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", s, errs[s])
+		}
+	}
+	return reps, nil
+}
+
+// serve runs the primary lane — every admitted request on its owner, with
+// migration handoffs applied — and indexes the per-request completions.
+func (st *runState) serve() error {
+	reps, err := st.runShards(st.jobsWithHandoff(), st.plumb.shardRecorder, 0, "")
+	if err != nil {
+		return err
+	}
+	st.shardReps = reps
+	st.finDone = make([]int64, len(st.reqs))
+	st.finStatus = make([]partserver.Status, len(st.reqs))
+	for i := range st.finStatus {
+		st.finStatus[i] = partserver.StatusFailed
+	}
+	for s := range reps {
+		if reps[s] == nil {
+			continue
+		}
+		for k := range reps[s].Results {
+			jr := &reps[s].Results[k]
+			st.finDone[jr.Tag] = jr.DoneUS
+			st.finStatus[jr.Tag] = jr.Status
+		}
+	}
+	return nil
+}
+
+// hedgeDeadline returns request idx's hedge deadline in µs past admission.
+// Fixed mode returns HedgeUS; HedgeAuto the nearest-rank p95 of the
+// router-observed latencies of requests completed by idx's admission (ok is
+// false until hedgeMinSamples responses have completed).
+func (st *runState) hedgeDeadline(idx int) (int64, bool) {
+	if st.cfg.HedgeUS > 0 {
+		return st.cfg.HedgeUS, true
+	}
+	admit := st.decisions[idx].admitUS
+	samples := make([]int64, 0, len(st.reqs))
+	for j := range st.reqs {
+		if st.finStatus[j] == partserver.StatusDone && st.finDone[j] <= admit {
+			samples = append(samples, st.finDone[j]-st.decisions[j].admitUS)
+		}
+	}
+	if len(samples) < hedgeMinSamples {
+		return 0, false
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	return percentile(samples, 95), true
+}
+
+// hedgeTarget picks request idx's hedge destination: the first non-primary
+// member of the key's admission-epoch replica set that is still a member at
+// issue time and not crashed by then (-1: no eligible replica).
+func (st *runState) hedgeTarget(idx int, issueUS int64) int {
+	d := &st.decisions[idx]
+	reps := st.rings[d.epoch].ReplicaSet(st.reqs[idx].Key, st.cfg.Replicas)
+	issueRing := st.rings[st.events.epochAt(issueUS)]
+	for _, c := range reps[1:] {
+		if c == d.shard || !issueRing.Member(c) {
+			continue
+		}
+		if st.dead[c] && st.crashUS[c] <= issueUS {
+			continue
+		}
+		return c
+	}
+	return -1
+}
+
+// hedge issues replica hedges for every completed request whose primary
+// response was outstanding past its deadline, runs the hedge lane (its own
+// per-replica schedulers, derived seeds, losers cancelled at the primary's
+// completion), and records the winners. The loop visits requests in index
+// order and every input is already deterministic, so the hedge plan —
+// and thus the whole run — stays a pure function of (stream, config, seed).
+func (st *runState) hedge() error {
+	if st.cfg.HedgeUS == 0 {
+		return nil
+	}
+	st.laneJobs = make([][]partserver.Job, st.numShards)
+	issued := false
+	for idx := range st.reqs {
+		d := &st.decisions[idx]
+		if d.shard < 0 || st.finStatus[idx] != partserver.StatusDone {
+			continue
+		}
+		deadline, ok := st.hedgeDeadline(idx)
+		if !ok || deadline <= 0 || st.finDone[idx]-d.admitUS <= deadline {
+			continue
+		}
+		issueUS := d.admitUS + deadline
+		c := st.hedgeTarget(idx, issueUS)
+		if c < 0 {
+			continue
+		}
+		job := st.reqs[idx].Job
+		job.Tag = int64(idx)
+		job.ArrivalUS = issueUS
+		// First completion wins: the hedge is cancelled through the
+		// scheduler's cancel path the instant the primary finishes, unless
+		// it is already executing (then it completes as wasted work).
+		if job.CancelAtUS == 0 || st.finDone[idx] < job.CancelAtUS {
+			job.CancelAtUS = st.finDone[idx]
+		}
+		d.hedged = true
+		d.hedgeShard = c
+		d.hedgeIssueUS = issueUS
+		st.lanePos[idx] = len(st.laneJobs[c])
+		st.laneJobs[c] = append(st.laneJobs[c], job)
+		st.plumb.record(issueUS, "hedge_issued", idx, int64(c))
+		issued = true
+	}
+	if !issued {
+		return nil
+	}
+	reps, err := st.runShards(st.laneJobs, st.plumb.laneRecorder, hedgeLaneSalt, "hedge")
+	if err != nil {
+		return err
+	}
+	st.laneReps = reps
+	for s := range reps {
+		if reps[s] == nil {
+			continue
+		}
+		for k := range reps[s].Results {
+			jr := &reps[s].Results[k]
+			idx := int(jr.Tag)
+			d := &st.decisions[idx]
+			st.laneRes[idx] = jr
+			d.hedgeDoneUS = jr.DoneUS
+			if jr.Status == partserver.StatusDone && jr.DoneUS < st.finDone[idx] {
+				d.hedgeWon = true
+				st.plumb.record(jr.DoneUS, "hedge_won", idx, int64(d.hedgeShard))
+			}
+		}
+	}
+	return nil
 }
 
 // Run routes reqs across the configured shard pool and blocks until every
@@ -169,16 +731,15 @@ type routed struct {
 // supplied up front because deterministic virtual-time admission needs the
 // arrival order independent of host scheduling.
 //
-// The router makes every decision in (ArrivalUS, index) order: per-tenant
-// quota deferral first (which fixes the admit time), then crash bookkeeping
-// (a crashing shard serves its deterministic quota of requests and stops
-// accepting), then ring lookup with clockwise failover past dead shards.
-// Admitted jobs carry their request index in Job.Tag and their admit time in
-// Job.ArrivalUS, so per-shard results merge back into request order and all
-// shards share one global virtual clock. Shards execute on concurrent
-// goroutines and are harvested in shard-index order; same seed + requests +
-// config therefore render a byte-identical Report, trace and metrics
-// snapshot, even under the race detector.
+// The run proceeds in phases, each a pure function of the previous ones:
+// route (admission decisions on the per-epoch rings), migrate (handoff
+// barriers of the membership schedule), serve (the primary lane on real
+// concurrent goroutines, harvested in shard order), hedge (the replica
+// hedge lane), gather (the merged report). Same seed + requests + config
+// therefore render a byte-identical Report, trace and metrics snapshot,
+// even under the race detector; a static, unhedged configuration takes the
+// exact single-pass path — and produces the exact bytes — of the
+// pre-membership router.
 func Run(reqs []Request, cfg Config) (rep *Report, err error) {
 	defer guardSimulator(&err)
 	cfg = cfg.WithDefaults()
@@ -194,160 +755,28 @@ func Run(reqs []Request, cfg Config) (rep *Report, err error) {
 		}
 	}
 
-	shardIDs := make([]int, cfg.Shards)
-	for i := range shardIDs {
-		shardIDs[i] = i
-	}
-	ring, err := NewRing(shardIDs, cfg.VNodes)
+	st, err := newRunState(reqs, cfg)
 	if err != nil {
 		return nil, err
 	}
+	// Causal capture: the flight merge is deferred so a failed run still
+	// dumps a postmortem.
+	defer st.plumb.finishFlight()
 
-	var inj *faults.Injector
-	if cfg.Faults != nil {
-		inj, err = faults.New(*cfg.Faults)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: %w", err)
-		}
+	st.route()
+	if err := st.migrate(); err != nil {
+		return nil, err
+	}
+	if err := st.serve(); err != nil {
+		return nil, err
+	}
+	if err := st.hedge(); err != nil {
+		return nil, err
 	}
 
-	// Crash thresholds: a crashing shard accepts exactly
-	// floor(AfterFraction · fair share) requests, then fail-stops its accept
-	// path. AfterFraction 0 is dead on arrival.
-	share := (len(reqs) + cfg.Shards - 1) / cfg.Shards
-	dieAfter := make([]int, cfg.Shards) // -1: never crashes
-	dead := make([]bool, cfg.Shards)
-	crashUS := make([]int64, cfg.Shards)
-	for s := 0; s < cfg.Shards; s++ {
-		dieAfter[s] = -1
-		if inj != nil {
-			if f, ok := inj.CrashFraction(s); ok {
-				dieAfter[s] = int(f * float64(share))
-				if dieAfter[s] == 0 {
-					dead[s] = true
-				}
-			}
-		}
-	}
+	st.plumb.buildTraces(st)
 
-	// Admission order: (ArrivalUS, index), the virtual-time order requests
-	// reach the router.
-	order := make([]int, len(reqs))
-	for i := range order {
-		order[i] = i
-	}
-	for i := 1; i < len(order); i++ {
-		// Insertion sort keeps the tie-break (index order) explicit and
-		// allocation-free; request streams are admission-rate bounded.
-		for k := i; k > 0; k-- {
-			a, b := order[k-1], order[k]
-			if reqs[a].Job.ArrivalUS < reqs[b].Job.ArrivalUS ||
-				(reqs[a].Job.ArrivalUS == reqs[b].Job.ArrivalUS && a < b) {
-				break
-			}
-			order[k-1], order[k] = b, a
-		}
-	}
-
-	// Causal capture: per-shard recorders plus the router's flight ring.
-	// The flight merge is deferred so a failed run still dumps a postmortem.
-	plumb := newCapturePlumbing(cfg.ReqTrace, cfg.Shards)
-	defer plumb.finishFlight()
-
-	decisions := make([]routed, len(reqs))
-	jobPos := make([]int, len(reqs)) // position within the shard's job list
-	served := make([]int, cfg.Shards)
-	shardJobs := make([][]partserver.Job, cfg.Shards)
-	quota := make(map[quotaKey]int)
-	alive := func(s int) bool { return !dead[s] }
-	var throttleDelayUS int64
-	for _, idx := range order {
-		r := &reqs[idx]
-		d := routed{shard: -1, primary: ring.Shard(r.Key)}
-
-		// Per-tenant admission quota: defer over-quota requests to the next
-		// window until one has room. Deferral preserves the work (and thus
-		// checksum parity with the single-node reference); it only delays it.
-		admit := r.Job.ArrivalUS
-		if cfg.TenantQuota > 0 {
-			for {
-				w := admit / cfg.QuotaWindowUS
-				k := quotaKey{tenant: r.Tenant, window: w}
-				if quota[k] < cfg.TenantQuota {
-					quota[k]++
-					break
-				}
-				admit = (w + 1) * cfg.QuotaWindowUS
-				d.throttled = true
-			}
-		}
-		if d.throttled {
-			throttleDelayUS += admit - r.Job.ArrivalUS
-			plumb.record(admit, "throttle", idx, admit-r.Job.ArrivalUS)
-		}
-		d.admitUS = admit
-
-		// Ring lookup with clockwise failover past fail-stopped shards.
-		shard, ok := ring.ShardSkipping(r.Key, alive)
-		jobPos[idx] = -1
-		if ok {
-			d.shard = shard
-			if shard != d.primary {
-				plumb.record(admit, "failover", idx, int64(shard))
-			}
-			job := r.Job
-			job.Tag = int64(idx)
-			job.ArrivalUS = admit
-			jobPos[idx] = len(shardJobs[shard])
-			shardJobs[shard] = append(shardJobs[shard], job)
-			served[shard]++
-			if dieAfter[shard] >= 0 && served[shard] >= dieAfter[shard] && !dead[shard] {
-				dead[shard] = true
-				crashUS[shard] = admit
-				plumb.record(admit, "shard_crash", -1, int64(shard))
-			}
-		} else {
-			plumb.record(admit, "unrouted", idx, int64(d.primary))
-		}
-		decisions[idx] = d
-	}
-
-	// Scatter: each shard is one partserver deployment on the shared global
-	// virtual clock (admit times are global, so per-shard DoneUS stamps are
-	// directly comparable). Shards run concurrently on real goroutines and
-	// are harvested in shard-index order.
-	shardReps := make([]*partserver.Report, cfg.Shards)
-	shardErrs := make([]error, cfg.Shards)
-	var wg sync.WaitGroup
-	for s := 0; s < cfg.Shards; s++ {
-		if len(shardJobs[s]) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			seed := mix(cfg.Seed ^ uint64(s+1))
-			if seed == 0 {
-				seed = 1
-			}
-			shardReps[s], shardErrs[s] = partserver.Run(shardJobs[s], partserver.Config{
-				FPGAs:   cfg.ShardFPGAs,
-				Workers: cfg.ShardWorkers,
-				Seed:    seed,
-				Record:  plumb.shardRecorder(s),
-			})
-		}(s)
-	}
-	wg.Wait()
-	for s := 0; s < cfg.Shards; s++ {
-		if shardErrs[s] != nil {
-			return nil, fmt.Errorf("cluster: shard %d: %w", s, shardErrs[s])
-		}
-	}
-
-	plumb.buildTraces(reqs, decisions, jobPos, cfg.Seed)
-
-	rep = gather(reqs, decisions, shardReps, dead, dieAfter, crashUS, ring, cfg, throttleDelayUS)
-	emit(rep, crashUS, cfg.Trace)
+	rep = st.gather()
+	st.emit(rep)
 	return rep, nil
 }

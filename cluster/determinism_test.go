@@ -59,6 +59,22 @@ func TestClusterSameSeedByteIdentical(t *testing.T) {
 	}{
 		{"faultfree", Config{Shards: 3, TenantQuota: 2, QuotaWindowUS: 400}},
 		{"faulty", Config{Shards: 3, TenantQuota: 2, QuotaWindowUS: 400, Faults: crashScenario(23)}},
+		// Full churn under hedging: a shard joins, another drains behind a
+		// handoff barrier, replica-2 auto-deadline hedges race a straggler —
+		// every new subsystem of the dynamic path on one byte-identity check.
+		{"churn-hedged", Config{Shards: 3, TenantQuota: 2, QuotaWindowUS: 400,
+			Schedule: MembershipSchedule{
+				{AtUS: 300, Shard: 3, Kind: Join},
+				{AtUS: 700, Shard: 1, Kind: Drain},
+			},
+			Replicas: 2, HedgeUS: HedgeAuto,
+			Faults: &faults.Scenario{Seed: 23, Stragglers: []faults.Straggler{{Node: 2, Factor: 8}}}}},
+		// A shard fail-stops while it is also the drain target: the planning
+		// pass, the crash bookkeeping and the failover reroutes must still
+		// resolve to the same bytes every run.
+		{"crash-while-draining", Config{Shards: 3,
+			Schedule: MembershipSchedule{{AtUS: 500, Shard: 1, Kind: Drain}},
+			Faults:   crashScenario(23)}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			first := renderRun(t, 23, 18, tc.cfg)

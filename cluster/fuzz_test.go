@@ -96,3 +96,108 @@ func FuzzClusterRoute(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMembershipSchedule is differential fuzzing of live churn: from
+// arbitrary bytes it grows a legal membership schedule (joins of fresh
+// shard ids, drains of current members, nondecreasing times), runs the
+// stream through the churning cluster — optionally with hedged reads racing
+// on top — and checks it against the same stream on the static initial
+// ring. Keys whose owner never changes across any epoch must land on the
+// same shard with the same output as the static run; the merged totals must
+// match the single-node reference either way. Churn may only ever re-route
+// the moved ranges.
+func FuzzMembershipSchedule(f *testing.F) {
+	f.Add(uint64(1), uint8(12), uint8(3), []byte{0x01, 0x40}, false)
+	f.Add(uint64(7), uint8(20), uint8(2), []byte{0x01, 0x20, 0x80, 0x60}, true)
+	f.Add(uint64(42), uint8(24), uint8(4), []byte{0x01, 0x10, 0x01, 0x30, 0x80, 0x50}, false)
+	f.Add(uint64(9), uint8(16), uint8(3), []byte{0x80, 0x08, 0x01, 0x70}, true)
+	f.Fuzz(func(t *testing.T, seed uint64, nreq, shards uint8, plan []byte, hedge bool) {
+		n := 1 + int(nreq)%24
+		ns := 2 + int(shards)%3
+		reqs, err := GenerateLoad(seed, n, LoadOptions{
+			MinTuples: 64,
+			MaxTuples: 512,
+			MeanGapUS: 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Decode the plan bytes pairwise into legal events: the first byte's
+		// low bit picks join/drain, the second scales the virtual time. A
+		// join picks the next unused shard id; a drain removes the oldest
+		// member unless it is the last one. Times grow monotonically so the
+		// schedule always validates.
+		members := make([]int, ns)
+		for s := range members {
+			members[s] = s
+		}
+		next := ns
+		var sched MembershipSchedule
+		at := int64(0)
+		for i := 0; i+1 < len(plan) && len(sched) < 4; i += 2 {
+			at += int64(plan[i+1]) * 8
+			if plan[i]&1 == 1 {
+				sched = append(sched, MembershipEvent{AtUS: at, Shard: next, Kind: Join})
+				members = append(members, next)
+				next++
+			} else if len(members) > 1 {
+				sched = append(sched, MembershipEvent{AtUS: at, Shard: members[0], Kind: Drain})
+				members = members[1:]
+			}
+		}
+		if len(sched) == 0 {
+			t.Skip("plan decoded to no events")
+		}
+
+		cfg := Config{Shards: ns, Schedule: sched, Seed: seed}
+		if hedge {
+			cfg.Replicas = 2
+			cfg.HedgeUS = 300
+		}
+		rep, err := Run(reqs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		static := cfg
+		static.Schedule = nil
+		static.Replicas = 0
+		static.HedgeUS = 0
+		srep, err := Run(reqs, static)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// The epoch rings the router used (vnodes defaulted to 128).
+		rings, err := sched.epochs(ns, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rep.Results {
+			rr, sr := &rep.Results[i], &srep.Results[i]
+			moved := false
+			for _, ring := range rings[1:] {
+				if ring.Shard(reqs[i].Key) != rings[0].Shard(reqs[i].Key) {
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			if rr.Shard != sr.Shard {
+				t.Fatalf("request %d (unmoved key) on shard %d under churn, %d static (schedule %v)",
+					i, rr.Shard, sr.Shard, sched)
+			}
+			if rr.Checksum != sr.Checksum || rr.Matches != sr.Matches {
+				t.Fatalf("request %d (unmoved key): churn output %d/%d, static %d/%d",
+					i, rr.Checksum, rr.Matches, sr.Checksum, sr.Matches)
+			}
+		}
+		if rep.Done != srep.Done || rep.Checksum != srep.Checksum || rep.Matches != srep.Matches {
+			t.Fatalf("churn totals done=%d checksum=%d matches=%d, static done=%d checksum=%d matches=%d (schedule %v)",
+				rep.Done, rep.Checksum, rep.Matches, srep.Done, srep.Checksum, srep.Matches, sched)
+		}
+		checkParity(t, rep, reqs, seed)
+	})
+}

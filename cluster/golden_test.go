@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"fpgapart/internal/faults"
 	"fpgapart/internal/simtrace"
 )
 
@@ -67,6 +68,74 @@ func TestGoldenConformance(t *testing.T) {
 	b.WriteString("}\n")
 
 	compareGolden(t, filepath.Join("testdata", "golden", "cluster_conformance.json"), b.Bytes())
+}
+
+// TestGoldenChurnStorm pins the dynamic path the same way: a join, a drain
+// behind its handoff barrier, and a late re-join, with replica-2 fixed-
+// deadline hedges racing an 8× straggler. The snapshot freezes the
+// membership section of the report JSON, the range_moved/hedge flight
+// events in the trace, and the churn/hedge counters; any re-ordering of the
+// barrier planning passes or the hedge lanes is a byte diff here.
+func TestGoldenChurnStorm(t *testing.T) {
+	const (
+		seed = 42
+		n    = 24
+	)
+	reqs, err := GenerateLoad(seed, n, LoadOptions{MeanGapUS: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := simtrace.NewSession()
+	rep, err := Run(reqs, Config{
+		Shards: 3,
+		Schedule: MembershipSchedule{
+			{AtUS: 250, Shard: 3, Kind: Join},
+			{AtUS: 550, Shard: 0, Kind: Drain},
+			{AtUS: 800, Shard: 4, Kind: Join},
+		},
+		Replicas: 2,
+		HedgeUS:  150,
+		Seed:     seed,
+		Faults: &faults.Scenario{
+			Seed:       seed,
+			Stragglers: []faults.Straggler{{Node: 1, Factor: 8}},
+		},
+		Trace: sess,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Semantics first, bytes second: everything completes, churn actually
+	// moved keys at each event, and the storm provoked at least one hedge.
+	if rep.Done != n {
+		t.Fatalf("only %d/%d requests done (failed %d)", rep.Done, n, rep.Failed)
+	}
+	for j, moved := range rep.EventMovedX10000 {
+		if moved <= 0 {
+			t.Errorf("membership event %d moved no keys", j)
+		}
+	}
+	if rep.HedgeIssued == 0 {
+		t.Error("churn storm issued no hedges; the snapshot would not cover the hedge path")
+	}
+	checkParity(t, rep, reqs, seed)
+
+	var b bytes.Buffer
+	b.WriteString("{\n\"report\": ")
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(",\n\"trace\": ")
+	if err := sess.Tracer.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(",\n\"metrics\": ")
+	if err := sess.Metrics.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString("}\n")
+
+	compareGolden(t, filepath.Join("testdata", "golden", "cluster_churnstorm.json"), b.Bytes())
 }
 
 // compareGolden diffs got against the golden file, honouring -update. On a

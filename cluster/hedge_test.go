@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"testing"
+
+	"fpgapart/internal/faults"
+	"fpgapart/partserver"
+)
+
+// stragglerScenario slows every FPGA instance of shard 1 by 8× — the tail
+// profile hedged reads exist to beat.
+func stragglerScenario(seed uint64) *faults.Scenario {
+	return &faults.Scenario{
+		Seed:       seed,
+		Stragglers: []faults.Straggler{{Node: 1, Factor: 8}},
+	}
+}
+
+// hedgedLoad is a stream dense enough that the straggling shard builds a
+// queue worth hedging around.
+func hedgedLoad(t *testing.T, seed uint64, n int) []Request {
+	t.Helper()
+	reqs, err := GenerateLoad(seed, n, LoadOptions{MeanGapUS: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+// TestHedgedReadsPreserveOutput is the hedging safety property: across
+// seeds, a hedged run must reproduce the unhedged run's merged Checksum,
+// Matches and completion count exactly — a hedge recomputes identical
+// content on a replica, it never changes what the tenant gets. And because
+// the primary lane's schedule is untouched by hedging, no request may ever
+// finish later than it did unhedged.
+func TestHedgedReadsPreserveOutput(t *testing.T) {
+	for seed := seedFromName(t); seed < seedFromName(t)+5; seed++ {
+		reqs := hedgedLoad(t, seed, 32)
+		base := Config{Shards: 3, Seed: seed, Faults: stragglerScenario(seed)}
+		unhedged, err := Run(reqs, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hcfg := base
+		hcfg.Replicas = 2
+		hcfg.HedgeUS = 150
+		hedged, err := Run(reqs, hcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hedged.Checksum != unhedged.Checksum || hedged.Matches != unhedged.Matches || hedged.Done != unhedged.Done {
+			t.Fatalf("seed %d: hedged run changed the merge: checksum %d/%d, matches %d/%d, done %d/%d",
+				seed, hedged.Checksum, unhedged.Checksum, hedged.Matches, unhedged.Matches,
+				hedged.Done, unhedged.Done)
+		}
+		for i := range hedged.Results {
+			h, u := &hedged.Results[i], &unhedged.Results[i]
+			if h.Checksum != u.Checksum || h.Matches != u.Matches {
+				t.Errorf("seed %d request %d: hedged output %d/%d, unhedged %d/%d",
+					seed, i, h.Checksum, h.Matches, u.Checksum, u.Matches)
+			}
+			if h.DoneUS > u.DoneUS {
+				t.Errorf("seed %d request %d: hedged completion %dus after unhedged %dus",
+					seed, i, h.DoneUS, u.DoneUS)
+			}
+			if h.HedgeWon && h.DoneUS >= u.DoneUS {
+				t.Errorf("seed %d request %d: winning hedge did not finish first (%dus vs %dus)",
+					seed, i, h.DoneUS, u.DoneUS)
+			}
+			if h.HedgeWon && h.HedgeShard == h.Shard {
+				t.Errorf("seed %d request %d: hedge won on the primary shard %d itself", seed, i, h.Shard)
+			}
+		}
+		checkParity(t, hedged, reqs, seed)
+	}
+}
+
+// TestHedgedP99Win pins the hedging payoff at test scale: under the
+// straggler profile, the hedged p99 must be strictly below the unhedged
+// p99 of the identical stream (the perfbench straggler-hedged cell gates
+// the same win as a pinned number).
+func TestHedgedP99Win(t *testing.T) {
+	seed := uint64(42)
+	reqs := hedgedLoad(t, seed, 48)
+	base := Config{Shards: 3, Seed: seed, Faults: stragglerScenario(seed)}
+	unhedged, err := Run(reqs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcfg := base
+	hcfg.Replicas = 2
+	hcfg.HedgeUS = 150
+	hedged, err := Run(reqs, hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hedged.HedgeIssued == 0 || hedged.HedgeWon == 0 {
+		t.Fatalf("hedging idle under the straggler profile: issued %d, won %d",
+			hedged.HedgeIssued, hedged.HedgeWon)
+	}
+	if hedged.LatP99US >= unhedged.LatP99US {
+		t.Errorf("hedged p99 %dus not strictly below unhedged p99 %dus",
+			hedged.LatP99US, unhedged.LatP99US)
+	}
+	if hedged.HedgeSavedUS <= 0 {
+		t.Errorf("winning hedges saved %dus, want > 0", hedged.HedgeSavedUS)
+	}
+}
+
+// TestHedgeAutoDeadline: the running-p95 deadline mode hedges only after
+// hedgeMinSamples responses have completed, stays fully deterministic, and
+// preserves the merge like the fixed mode.
+func TestHedgeAutoDeadline(t *testing.T) {
+	seed := seedFromName(t)
+	reqs := hedgedLoad(t, seed, 48)
+	cfg := Config{Shards: 3, Replicas: 2, HedgeUS: HedgeAuto, Seed: seed, Faults: stragglerScenario(seed)}
+	rep, err := Run(reqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Results {
+		rr := &rep.Results[i]
+		if !rr.Hedged {
+			continue
+		}
+		// Count the completed-by-admission samples the estimator saw; a
+		// hedge before hedgeMinSamples of them would be an untrustworthy
+		// estimate acted upon.
+		samples := 0
+		for k := range rep.Results {
+			// The unhedged completion of request k is not in the report once
+			// a hedge won it, so bound the check to non-hedged peers.
+			if !rep.Results[k].Hedged && rep.Results[k].Status == partserver.StatusDone &&
+				rep.Results[k].DoneUS <= rr.AdmitUS {
+				samples++
+			}
+		}
+		if samples+rep.HedgeIssued < hedgeMinSamples {
+			t.Errorf("request %d hedged with at most %d completed samples, floor %d",
+				i, samples+rep.HedgeIssued, hedgeMinSamples)
+		}
+	}
+	checkParity(t, rep, reqs, seed)
+
+	again, err := Run(reqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.HedgeIssued != rep.HedgeIssued || again.HedgeWon != rep.HedgeWon ||
+		again.Checksum != rep.Checksum || again.LatP99US != rep.LatP99US {
+		t.Errorf("HedgeAuto run not reproducible: issued %d/%d won %d/%d checksum %d/%d p99 %d/%d",
+			again.HedgeIssued, rep.HedgeIssued, again.HedgeWon, rep.HedgeWon,
+			again.Checksum, rep.Checksum, again.LatP99US, rep.LatP99US)
+	}
+}
+
+// TestHedgeConfigValidation pins the hedging knob legality.
+func TestHedgeConfigValidation(t *testing.T) {
+	reqs := hedgedLoad(t, 1, 4)
+	if _, err := Run(reqs, Config{Shards: 3, HedgeUS: 100}); err == nil {
+		t.Error("HedgeUS without Replicas ≥ 2 accepted")
+	}
+	if _, err := Run(reqs, Config{Shards: 3, Replicas: 2, HedgeUS: -2}); err == nil {
+		t.Error("HedgeUS -2 accepted")
+	}
+	if _, err := Run(reqs, Config{Shards: 3, Replicas: -1}); err == nil {
+		t.Error("negative Replicas accepted")
+	}
+	if _, err := Run(reqs, Config{Shards: 3, Replicas: 2, HedgeUS: HedgeAuto}); err != nil {
+		t.Errorf("HedgeAuto rejected: %v", err)
+	}
+	// Replicas beyond the pool size is legal: the replica set clamps to the
+	// whole membership (R-distinctness even when N ≤ R).
+	if _, err := Run(reqs, Config{Shards: 2, Replicas: 5, HedgeUS: 100}); err != nil {
+		t.Errorf("Replicas > Shards rejected: %v", err)
+	}
+}

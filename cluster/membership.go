@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MembershipKind classifies one membership event.
+type MembershipKind int
+
+const (
+	// Join adds a shard to the ring at the event's virtual time: only the
+	// key ranges whose clockwise successor becomes the joiner re-route.
+	Join MembershipKind = iota
+	// Drain removes a shard from the ring: the shard stops accepting new
+	// requests at the event time, finishes everything it already admitted
+	// (in-flight work completes on its admission-time owner), and its key
+	// ranges re-route to their clockwise successors behind a handoff
+	// barrier.
+	Drain
+)
+
+func (k MembershipKind) String() string {
+	switch k {
+	case Join:
+		return "join"
+	case Drain:
+		return "drain"
+	default:
+		return fmt.Sprintf("MembershipKind(%d)", int(k))
+	}
+}
+
+// MembershipEvent is one live membership change at a virtual time.
+type MembershipEvent struct {
+	// AtUS is the virtual time the event takes effect: requests admitted at
+	// or after AtUS route on the post-event ring.
+	AtUS int64
+	// Shard is the joining or draining shard id.
+	Shard int
+	// Kind is Join or Drain.
+	Kind MembershipKind
+}
+
+// MembershipSchedule is an ordered list of live membership changes — the
+// churn plan of one cluster run. Like everything else on the deterministic
+// path it is part of the configuration: the rings in effect at every virtual
+// time, the moved key ranges, and the handoff barriers all derive from it as
+// pure functions of (stream, config, seed).
+type MembershipSchedule []MembershipEvent
+
+// maxShardID bounds shard ids so per-shard report rows stay dense arrays.
+const maxShardID = 1 << 16
+
+// Validate checks the schedule against an initial pool of ids 0..shards-1:
+// events must be time-ordered, joins must add non-members, drains must
+// remove members, and the ring must never empty.
+func (sched MembershipSchedule) Validate(shards int) error {
+	_, err := sched.epochs(shards, 1)
+	return err
+}
+
+// epochs builds the ring in effect per membership epoch: rings[0] over the
+// initial pool 0..shards-1, rings[k+1] after event k.
+func (sched MembershipSchedule) epochs(shards, vnodes int) ([]*Ring, error) {
+	members := make([]int, shards)
+	for i := range members {
+		members[i] = i
+	}
+	ring, err := NewRing(members, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	rings := make([]*Ring, 0, len(sched)+1)
+	rings = append(rings, ring)
+	for j := range sched {
+		ev := &sched[j]
+		if ev.AtUS < 0 {
+			return nil, fmt.Errorf("cluster: membership event %d at negative time %d", j, ev.AtUS)
+		}
+		if j > 0 && ev.AtUS < sched[j-1].AtUS {
+			return nil, fmt.Errorf("cluster: membership event %d at %d µs precedes event %d at %d µs",
+				j, ev.AtUS, j-1, sched[j-1].AtUS)
+		}
+		if ev.Shard < 0 || ev.Shard >= maxShardID {
+			return nil, fmt.Errorf("cluster: membership event %d shard %d outside [0, %d)", j, ev.Shard, maxShardID)
+		}
+		prev := rings[j]
+		switch ev.Kind {
+		case Join:
+			if prev.Member(ev.Shard) {
+				return nil, fmt.Errorf("cluster: membership event %d joins shard %d, already a member", j, ev.Shard)
+			}
+			ring, err = prev.WithShard(ev.Shard)
+		case Drain:
+			if len(prev.Shards()) == 1 {
+				return nil, fmt.Errorf("cluster: membership event %d drains the last shard %d", j, ev.Shard)
+			}
+			ring, err = prev.WithoutShard(ev.Shard)
+		default:
+			return nil, fmt.Errorf("cluster: membership event %d has unknown kind %d", j, int(ev.Kind))
+		}
+		if err != nil {
+			return nil, err
+		}
+		rings = append(rings, ring)
+	}
+	return rings, nil
+}
+
+// maxMember returns the largest shard id that is ever a ring member.
+func (sched MembershipSchedule) maxMember(shards int) int {
+	max := shards - 1
+	for j := range sched {
+		if sched[j].Shard > max {
+			max = sched[j].Shard
+		}
+	}
+	return max
+}
+
+// epochAt returns the membership epoch in effect at virtual time t: the
+// number of events with AtUS ≤ t (an event takes effect at its own instant).
+func (sched MembershipSchedule) epochAt(t int64) int {
+	return sort.Search(len(sched), func(j int) bool { return sched[j].AtUS > t })
+}
+
+// ParseMembershipSchedule parses the CLI schedule syntax: a comma-separated
+// list of "<kind>:<shard>@<at_us>" events, e.g. "join:3@4000,drain:1@9000".
+func ParseMembershipSchedule(s string) (MembershipSchedule, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var sched MembershipSchedule
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		kindShard, at, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("cluster: membership event %q: want <kind>:<shard>@<at_us>", part)
+		}
+		kindStr, shardStr, ok := strings.Cut(kindShard, ":")
+		if !ok {
+			return nil, fmt.Errorf("cluster: membership event %q: want <kind>:<shard>@<at_us>", part)
+		}
+		var kind MembershipKind
+		switch kindStr {
+		case "join":
+			kind = Join
+		case "drain":
+			kind = Drain
+		default:
+			return nil, fmt.Errorf("cluster: membership event %q: kind %q is not join/drain", part, kindStr)
+		}
+		shard, err := strconv.Atoi(shardStr)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: membership event %q: bad shard: %w", part, err)
+		}
+		atUS, err := strconv.ParseInt(at, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: membership event %q: bad time: %w", part, err)
+		}
+		sched = append(sched, MembershipEvent{AtUS: atUS, Shard: shard, Kind: kind})
+	}
+	return sched, nil
+}

@@ -5,7 +5,6 @@ import (
 	"io"
 	"sort"
 
-	"fpgapart/internal/simtrace"
 	"fpgapart/partserver"
 )
 
@@ -25,16 +24,26 @@ type RequestResult struct {
 	// request past its arrival window.
 	Throttled bool
 
+	// HandoffUS is the migration drain-barrier wait the request paid before
+	// its new owner could serve its freshly-moved key (0 otherwise).
+	HandoffUS int64
+	// Hedged reports a replica hedge was issued; HedgeShard is its target
+	// (-1 when not hedged); HedgeWon that the hedge finished strictly first
+	// (the result fields below are then the hedge lane's).
+	Hedged     bool
+	HedgeShard int
+	HedgeWon   bool
+
 	// Status is the shard scheduler's terminal status (StatusFailed for
-	// never-admitted requests).
+	// never-admitted requests); for a won hedge, the hedge lane's status.
 	Status partserver.Status
 
 	// Virtual timeline (µs): router arrival, quota-adjusted admission,
-	// completion on the shard; LatencyUS = DoneUS − ArrivalUS, the
+	// completion on the winning shard; LatencyUS = DoneUS − ArrivalUS, the
 	// end-to-end latency the tenant observes.
 	ArrivalUS, AdmitUS, DoneUS, LatencyUS int64
 
-	// Output shape, echoed from the shard's JobResult.
+	// Output shape, echoed from the winning JobResult.
 	Tuples   int64
 	Matches  int64
 	Checksum uint32
@@ -62,7 +71,8 @@ type Report struct {
 	MakespanUS int64
 	// Matches sums join cardinalities; Checksum is the order-insensitive
 	// merge (wrapping uint32 sum) of every request's output checksum — equal
-	// by construction to a single-node run of the same jobs.
+	// by construction to a single-node run of the same jobs, and invariant
+	// under hedging (a hedge recomputes the same content).
 	Matches  int64
 	Checksum uint32
 
@@ -73,41 +83,96 @@ type Report struct {
 	QPSx100                                int64
 
 	// Rebalancing measurement over this stream's routing keys: permyriad of
-	// keys that change owner when shard N joins, under the ring vs. under
-	// modulo sharding (ring ≈ 10000/(N+1); modulo ≈ 10000·N/(N+1)).
+	// keys that change owner when shard N joins the initial ring, under the
+	// ring vs. under modulo sharding (ring ≈ 10000/(N+1); modulo ≈
+	// 10000·N/(N+1)).
 	MovedRingX10000, MovedModX10000 int64
 
-	// Per-shard load: jobs routed and shard-local makespan, indexed by shard.
+	// Membership churn, echoed from Config.Schedule: the events, the joined
+	// and drained shard ids, and per event the permyriad of this stream's
+	// keys whose owner the event actually moved.
+	MembershipEvents []MembershipEvent
+	JoinedShards     []int
+	DrainedShards    []int
+	EventMovedX10000 []int64
+	// HandoffDelayed counts requests that waited out a drain barrier;
+	// HandoffWaitUS their summed wait.
+	HandoffDelayed int
+	HandoffWaitUS  int64
+
+	// HedgedRun echoes whether hedging was enabled; Replicas the replica-set
+	// width. HedgeIssued/HedgeWon/HedgeCancelled count the hedge lane;
+	// HedgeSavedUS is the summed latency the winning hedges shaved off their
+	// primaries, HedgeWastedUS the execution the losing-but-completed hedges
+	// burned.
+	HedgedRun      bool
+	Replicas       int
+	HedgeIssued    int
+	HedgeWon       int
+	HedgeCancelled int
+	HedgeSavedUS   int64
+	HedgeWastedUS  int64
+
+	// Per-shard load: jobs routed and shard-local makespan, indexed by shard
+	// id over every shard that was ever a member. A drained shard keeps its
+	// row — its cumulative pre-drain load — rather than silently losing its
+	// history; a joined shard's row exists from the start (zero until it
+	// serves).
 	ShardJobs       []int
 	ShardMakespanUS []int64
 }
 
-// gather merges the per-shard reports back into request order and derives
-// the cluster-level aggregates.
-func gather(reqs []Request, decisions []routed, shardReps []*partserver.Report,
-	dead []bool, dieAfter []int, crashUS []int64, ring *Ring, cfg Config, throttleDelayUS int64) *Report {
+// dynamic reports whether the run used membership churn or hedging — the
+// gate for the extended report fields, counters and JSON, so static
+// unhedged runs keep their exact historical bytes.
+func (rep *Report) dynamic() bool {
+	return len(rep.MembershipEvents) > 0 || rep.HedgedRun
+}
+
+// gather merges the per-shard reports back into request order — hedge
+// winners overriding their primaries — and derives the cluster-level
+// aggregates.
+func (st *runState) gather() *Report {
+	reqs := st.reqs
 	rep := &Report{
 		Results:         make([]RequestResult, len(reqs)),
 		Requests:        len(reqs),
-		ThrottleDelayUS: throttleDelayUS,
-		ShardJobs:       make([]int, cfg.Shards),
-		ShardMakespanUS: make([]int64, cfg.Shards),
+		ThrottleDelayUS: st.throttleDelayUS,
+		HedgedRun:       st.cfg.HedgeUS != 0,
+		Replicas:        st.cfg.Replicas,
+		ShardJobs:       make([]int, st.numShards),
+		ShardMakespanUS: make([]int64, st.numShards),
 	}
-	for i := range reqs {
-		d := &decisions[i]
-		rep.Results[i] = RequestResult{
-			Index:     i,
-			Tenant:    reqs[i].Tenant,
-			Shard:     d.shard,
-			Rerouted:  d.shard >= 0 && d.shard != d.primary,
-			Throttled: d.throttled,
-			Status:    partserver.StatusFailed,
-			ArrivalUS: reqs[i].Job.ArrivalUS,
-			AdmitUS:   d.admitUS,
+	if len(st.events) > 0 {
+		rep.MembershipEvents = append(rep.MembershipEvents, st.events...)
+		for j := range st.events {
+			ev := &st.events[j]
+			if ev.Kind == Join {
+				rep.JoinedShards = append(rep.JoinedShards, ev.Shard)
+			} else {
+				rep.DrainedShards = append(rep.DrainedShards, ev.Shard)
+			}
 		}
 	}
-	for s := range shardReps {
-		srep := shardReps[s]
+	for i := range reqs {
+		d := &st.decisions[i]
+		rep.Results[i] = RequestResult{
+			Index:      i,
+			Tenant:     reqs[i].Tenant,
+			Shard:      d.shard,
+			Rerouted:   d.shard >= 0 && d.shard != d.primary,
+			Throttled:  d.throttled,
+			HandoffUS:  d.handoffUS,
+			Hedged:     d.hedged,
+			HedgeShard: d.hedgeShard,
+			HedgeWon:   d.hedgeWon,
+			Status:     partserver.StatusFailed,
+			ArrivalUS:  reqs[i].Job.ArrivalUS,
+			AdmitUS:    d.admitUS,
+		}
+	}
+	for s := range st.shardReps {
+		srep := st.shardReps[s]
 		if srep == nil {
 			continue
 		}
@@ -124,6 +189,34 @@ func gather(reqs []Request, decisions []routed, shardReps []*partserver.Report,
 			rr.Tuples = jr.Tuples
 			rr.Matches = jr.Matches
 			rr.Checksum = jr.Checksum
+		}
+	}
+	// Hedge lane bookkeeping: winners override their primary's result (same
+	// content, earlier completion); losers count as cancelled or wasted.
+	for i := range reqs {
+		d := &st.decisions[i]
+		if !d.hedged {
+			continue
+		}
+		rep.HedgeIssued++
+		jr := st.laneRes[i]
+		if jr == nil {
+			continue
+		}
+		if d.hedgeWon {
+			rep.HedgeWon++
+			rep.HedgeSavedUS += st.finDone[i] - jr.DoneUS
+			rr := &rep.Results[i]
+			rr.Status = jr.Status
+			rr.DoneUS = jr.DoneUS
+			rr.LatencyUS = jr.DoneUS - rr.ArrivalUS
+			rr.Tuples = jr.Tuples
+			rr.Matches = jr.Matches
+			rr.Checksum = jr.Checksum
+		} else if jr.Status == partserver.StatusCancelled {
+			rep.HedgeCancelled++
+		} else if jr.Status == partserver.StatusDone {
+			rep.HedgeWastedUS += jr.ExecUS
 		}
 	}
 
@@ -143,14 +236,18 @@ func gather(reqs []Request, decisions []routed, shardReps []*partserver.Report,
 		if rr.Rerouted {
 			rep.Rerouted++
 		}
+		if rr.HandoffUS > 0 {
+			rep.HandoffDelayed++
+			rep.HandoffWaitUS += rr.HandoffUS
+		}
 		rep.Matches += rr.Matches
 		rep.Checksum += rr.Checksum
 		if rr.DoneUS > rep.MakespanUS {
 			rep.MakespanUS = rr.DoneUS
 		}
 	}
-	for s := range dead {
-		if dead[s] {
+	for s := range st.dead {
+		if st.dead[s] {
 			rep.FailedShards = append(rep.FailedShards, s)
 		}
 	}
@@ -170,16 +267,22 @@ func gather(reqs []Request, decisions []routed, shardReps []*partserver.Report,
 		rep.QPSx100 = int64(rep.Done) * 100_000_000 / rep.MakespanUS
 	}
 
-	// Rebalancing: what joining shard N would move, measured over this
-	// stream's actual keys.
+	// Rebalancing: what joining shard N would move from the initial ring,
+	// measured over this stream's actual keys — plus what each scheduled
+	// membership event actually moved.
 	keys := make([]uint64, len(reqs))
 	for i := range reqs {
 		keys[i] = reqs[i].Key
 	}
-	if grown, err := ring.WithShard(cfg.Shards); err == nil {
-		rep.MovedRingX10000 = MovedPermyriad(keys, ring, grown)
+	initial := st.rings[0]
+	if grown, err := initial.WithShard(st.cfg.Shards); err == nil {
+		rep.MovedRingX10000 = MovedPermyriad(keys, initial, grown)
 	}
-	rep.MovedModX10000 = MovedPermyriad(keys, Modulo(cfg.Shards), Modulo(cfg.Shards+1))
+	rep.MovedModX10000 = MovedPermyriad(keys, Modulo(st.cfg.Shards), Modulo(st.cfg.Shards+1))
+	for j := range st.events {
+		rep.EventMovedX10000 = append(rep.EventMovedX10000,
+			MovedPermyriad(keys, st.rings[j], st.rings[j+1]))
+	}
 	return rep
 }
 
@@ -194,8 +297,11 @@ func percentile(sorted []int64, q int) int64 {
 }
 
 // emit reports the run into the simtrace session, in fixed order, after the
-// deterministic harvest. Nil session disables everything.
-func emit(rep *Report, crashUS []int64, sess *simtrace.Session) {
+// deterministic harvest. Nil session disables everything. The membership
+// and hedging counters appear only on dynamic runs, so static runs' metric
+// snapshots keep their historical bytes.
+func (st *runState) emit(rep *Report) {
+	sess := st.cfg.Trace
 	if sess == nil {
 		return
 	}
@@ -217,6 +323,19 @@ func emit(rep *Report, crashUS []int64, sess *simtrace.Session) {
 	m.Counter("cluster.qps_x100").Add(rep.QPSx100)
 	m.Counter("cluster.moved_ring_x10000").Add(rep.MovedRingX10000)
 	m.Counter("cluster.moved_mod_x10000").Add(rep.MovedModX10000)
+	if rep.dynamic() {
+		m.Counter("cluster.membership_events").Add(int64(len(rep.MembershipEvents)))
+		for j, moved := range rep.EventMovedX10000 {
+			m.Counter(fmt.Sprintf("cluster.event%d.moved_x10000", j)).Add(moved)
+		}
+		m.Counter("cluster.handoff_delayed").Add(int64(rep.HandoffDelayed))
+		m.Counter("cluster.handoff_wait_us").Add(rep.HandoffWaitUS)
+		m.Counter("cluster.hedge_issued").Add(int64(rep.HedgeIssued))
+		m.Counter("cluster.hedge_won").Add(int64(rep.HedgeWon))
+		m.Counter("cluster.hedge_cancelled").Add(int64(rep.HedgeCancelled))
+		m.Counter("cluster.hedge_saved_us").Add(rep.HedgeSavedUS)
+		m.Counter("cluster.hedge_wasted_us").Add(rep.HedgeWastedUS)
+	}
 	h := m.Histogram("cluster.latency_us")
 	for s := range rep.ShardJobs {
 		comp := fmt.Sprintf("shard%d", s)
@@ -225,7 +344,11 @@ func emit(rep *Report, crashUS []int64, sess *simtrace.Session) {
 		sess.Tracer.Span(comp, "serve", 0, rep.ShardMakespanUS[s])
 	}
 	for _, s := range rep.FailedShards {
-		sess.Tracer.Instant("cluster", fmt.Sprintf("shard%d.crash", s), crashUS[s])
+		sess.Tracer.Instant("cluster", fmt.Sprintf("shard%d.crash", s), st.crashUS[s])
+	}
+	for j := range rep.MembershipEvents {
+		ev := &rep.MembershipEvents[j]
+		sess.Tracer.Instant("cluster", fmt.Sprintf("shard%d.%s", ev.Shard, ev.Kind), ev.AtUS)
 	}
 	for i := range rep.Results {
 		rr := &rep.Results[i]
@@ -239,10 +362,24 @@ func emit(rep *Report, crashUS []int64, sess *simtrace.Session) {
 // WriteJSON renders the report as deterministic JSON, written field by
 // field in a fixed layout (the repo's golden/BENCH convention — no
 // reflective marshalling), so same-seed runs emit byte-identical bytes.
+// The membership/hedging section and per-result extensions appear only on
+// dynamic runs, keeping static reports byte-compatible with their goldens.
 func (rep *Report) WriteJSON(w io.Writer) error {
 	write := func(format string, args ...interface{}) error {
 		if _, err := fmt.Fprintf(w, format, args...); err != nil {
 			return fmt.Errorf("cluster: writing report: %w", err)
+		}
+		return nil
+	}
+	writeInts := func(vals []int) error {
+		for i, v := range vals {
+			sep := ""
+			if i > 0 {
+				sep = ", "
+			}
+			if err := write("%s%d", sep, v); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -253,19 +390,46 @@ func (rep *Report) WriteJSON(w io.Writer) error {
 	if err := write("  \"failed_shards\": ["); err != nil {
 		return err
 	}
-	for i, s := range rep.FailedShards {
-		sep := ""
-		if i > 0 {
-			sep = ", "
-		}
-		if err := write("%s%d", sep, s); err != nil {
-			return err
-		}
+	if err := writeInts(rep.FailedShards); err != nil {
+		return err
 	}
 	if err := write("],\n  \"makespan_us\": %d,\n  \"matches\": %d,\n  \"checksum\": %d,\n  \"lat_avg_us\": %d,\n  \"lat_p50_us\": %d,\n  \"lat_p95_us\": %d,\n  \"lat_p99_us\": %d,\n  \"qps_x100\": %d,\n  \"moved_ring_x10000\": %d,\n  \"moved_mod_x10000\": %d,\n",
 		rep.MakespanUS, rep.Matches, rep.Checksum, rep.LatAvgUS, rep.LatP50US, rep.LatP95US, rep.LatP99US,
 		rep.QPSx100, rep.MovedRingX10000, rep.MovedModX10000); err != nil {
 		return err
+	}
+	if rep.dynamic() {
+		if err := write("  \"membership_events\": [\n"); err != nil {
+			return err
+		}
+		for j := range rep.MembershipEvents {
+			ev := &rep.MembershipEvents[j]
+			sep := ","
+			if j == len(rep.MembershipEvents)-1 {
+				sep = ""
+			}
+			if err := write("    {\"kind\": %q, \"shard\": %d, \"at_us\": %d, \"moved_x10000\": %d}%s\n",
+				ev.Kind.String(), ev.Shard, ev.AtUS, rep.EventMovedX10000[j], sep); err != nil {
+				return err
+			}
+		}
+		if err := write("  ],\n  \"joined\": ["); err != nil {
+			return err
+		}
+		if err := writeInts(rep.JoinedShards); err != nil {
+			return err
+		}
+		if err := write("],\n  \"drained\": ["); err != nil {
+			return err
+		}
+		if err := writeInts(rep.DrainedShards); err != nil {
+			return err
+		}
+		if err := write("],\n  \"handoff_delayed\": %d,\n  \"handoff_wait_us\": %d,\n  \"replicas\": %d,\n  \"hedged_run\": %v,\n  \"hedge_issued\": %d,\n  \"hedge_won\": %d,\n  \"hedge_cancelled\": %d,\n  \"hedge_saved_us\": %d,\n  \"hedge_wasted_us\": %d,\n",
+			rep.HandoffDelayed, rep.HandoffWaitUS, rep.Replicas, rep.HedgedRun,
+			rep.HedgeIssued, rep.HedgeWon, rep.HedgeCancelled, rep.HedgeSavedUS, rep.HedgeWastedUS); err != nil {
+			return err
+		}
 	}
 	if err := write("  \"shards\": [\n"); err != nil {
 		return err
@@ -289,10 +453,15 @@ func (rep *Report) WriteJSON(w io.Writer) error {
 		if i == len(rep.Results)-1 {
 			sep = ""
 		}
-		if err := write("    {\"index\": %d, \"tenant\": %d, \"shard\": %d, \"rerouted\": %v, \"throttled\": %v, \"status\": %q, \"arrival_us\": %d, \"admit_us\": %d, \"done_us\": %d, \"latency_us\": %d, \"tuples\": %d, \"matches\": %d, \"checksum\": %d}%s\n",
+		ext := ""
+		if rep.dynamic() {
+			ext = fmt.Sprintf(", \"handoff_us\": %d, \"hedged\": %v, \"hedge_shard\": %d, \"hedge_won\": %v",
+				rr.HandoffUS, rr.Hedged, rr.HedgeShard, rr.HedgeWon)
+		}
+		if err := write("    {\"index\": %d, \"tenant\": %d, \"shard\": %d, \"rerouted\": %v, \"throttled\": %v, \"status\": %q, \"arrival_us\": %d, \"admit_us\": %d, \"done_us\": %d, \"latency_us\": %d, \"tuples\": %d, \"matches\": %d, \"checksum\": %d%s}%s\n",
 			rr.Index, rr.Tenant, rr.Shard, rr.Rerouted, rr.Throttled, rr.Status,
 			rr.ArrivalUS, rr.AdmitUS, rr.DoneUS, rr.LatencyUS,
-			rr.Tuples, rr.Matches, rr.Checksum, sep); err != nil {
+			rr.Tuples, rr.Matches, rr.Checksum, ext, sep); err != nil {
 			return err
 		}
 	}

@@ -8,11 +8,12 @@ import (
 )
 
 // capturePlumbing is the per-run causal-tracing state: one recorder per
-// shard (handed to the shard schedulers) plus the router's own flight ring.
-// nil when the run is untraced.
+// shard (handed to the shard schedulers), one per hedge lane, plus the
+// router's own flight ring. nil when the run is untraced.
 type capturePlumbing struct {
 	cap    *reqtrace.Capture
 	recs   []*reqtrace.Recorder
+	lanes  []*reqtrace.Recorder
 	router *reqtrace.Flight
 }
 
@@ -23,10 +24,12 @@ func newCapturePlumbing(c *reqtrace.Capture, shards int) *capturePlumbing {
 	p := &capturePlumbing{
 		cap:    c,
 		recs:   make([]*reqtrace.Recorder, shards),
+		lanes:  make([]*reqtrace.Recorder, shards),
 		router: reqtrace.NewFlight(c.FlightCap),
 	}
 	for s := range p.recs {
 		p.recs[s] = reqtrace.NewRecorder(c.FlightCap)
+		p.lanes[s] = reqtrace.NewRecorder(c.FlightCap)
 	}
 	return p
 }
@@ -39,7 +42,7 @@ func (p *capturePlumbing) record(us int64, kind string, job int, arg int64) {
 	p.router.Record(reqtrace.FlightEvent{US: us, Comp: "router", Kind: kind, Job: job, Arg: arg})
 }
 
-// shardRecorder returns shard s's recorder (nil when untraced).
+// shardRecorder returns shard s's primary-lane recorder (nil when untraced).
 func (p *capturePlumbing) shardRecorder(s int) *reqtrace.Recorder {
 	if p == nil {
 		return nil
@@ -47,10 +50,22 @@ func (p *capturePlumbing) shardRecorder(s int) *reqtrace.Recorder {
 	return p.recs[s]
 }
 
-// finishFlight merges the router's and every shard's flight events into the
-// capture — shard components prefixed "s<N>.", shard-local job ids remapped
-// to request indices via Job.Tag — ordered by virtual time (stable: router
-// before shard 0 before shard 1 at equal stamps). Called via defer so a
+// laneRecorder returns shard s's hedge-lane recorder (nil when untraced).
+func (p *capturePlumbing) laneRecorder(s int) *reqtrace.Recorder {
+	if p == nil {
+		return nil
+	}
+	return p.lanes[s]
+}
+
+// finishFlight merges the router's, every shard's, and every hedge lane's
+// flight events into the capture — shard components prefixed "s<N>." (hedge
+// lanes read "s<N>.hedge.…" via the scheduler's Lane prefix), shard-local
+// job ids remapped to request indices via Job.Tag — ordered by virtual time
+// (stable: router before shard 0 before shard 1 at equal stamps; hedge
+// lanes after the primaries). A hedge lane's "cancel" is the scheduler
+// killing the loser the instant the primary won, so it is rewritten to
+// "hedge_lost" — the tagged cancel of a lost hedge. Called via defer so a
 // failed run still leaves a postmortem behind.
 func (p *capturePlumbing) finishFlight() {
 	if p == nil {
@@ -70,32 +85,55 @@ func (p *capturePlumbing) finishFlight() {
 		}
 		dropped += rec.FlightDropped()
 	}
+	for s, rec := range p.lanes {
+		for _, e := range rec.FlightEvents() {
+			e.Comp = fmt.Sprintf("s%d.%s", s, e.Comp)
+			if e.Kind == "cancel" {
+				e.Kind = "hedge_lost"
+			}
+			if e.Job >= 0 {
+				if j := rec.Job(e.Job); j != nil {
+					e.Job = int(j.Tag)
+				}
+			}
+			merged = append(merged, e)
+		}
+		dropped += rec.FlightDropped()
+	}
 	sort.SliceStable(merged, func(a, b int) bool { return merged[a].US < merged[b].US })
 	p.cap.Flight = merged
 	p.cap.FlightDropped = dropped
 }
 
 // buildTraces assembles the per-request causal traces from the router
-// decisions and the shard recorders, in request order.
-func (p *capturePlumbing) buildTraces(reqs []Request, decisions []routed, jobPos []int, seed uint64) {
+// decisions and the shard recorders, in request order. A won hedge's trace
+// is built from the hedge lane's job record — the winning causal chain —
+// with the deadline interval charged as hedge wait.
+func (p *capturePlumbing) buildTraces(st *runState) {
 	if p == nil {
 		return
 	}
-	traces := make([]reqtrace.RequestTrace, len(reqs))
-	for idx := range reqs {
-		d := &decisions[idx]
+	traces := make([]reqtrace.RequestTrace, len(st.reqs))
+	for idx := range st.reqs {
+		d := &st.decisions[idx]
 		step := reqtrace.RouterStep{
-			ArrivalUS: reqs[idx].Job.ArrivalUS,
-			AdmitUS:   d.admitUS,
-			Throttled: d.throttled,
-			Shard:     d.shard,
-			Primary:   d.primary,
+			ArrivalUS:    st.reqs[idx].Job.ArrivalUS,
+			AdmitUS:      d.admitUS,
+			Throttled:    d.throttled,
+			Shard:        d.shard,
+			Primary:      d.primary,
+			HandoffUS:    d.handoffUS,
+			Hedged:       d.hedged,
+			HedgeWon:     d.hedgeWon,
+			HedgeIssueUS: d.hedgeIssueUS,
 		}
 		var job *reqtrace.JobRecord
-		if d.shard >= 0 {
-			job = p.recs[d.shard].Job(jobPos[idx])
+		if d.hedgeWon {
+			job = p.lanes[d.hedgeShard].Job(st.lanePos[idx])
+		} else if d.shard >= 0 {
+			job = p.recs[d.shard].Job(st.jobPos[idx])
 		}
-		traces[idx] = reqtrace.BuildRouted(seed, idx, step, job)
+		traces[idx] = reqtrace.BuildRouted(st.cfg.Seed, idx, step, job)
 	}
 	p.cap.Traces = traces
 }

@@ -143,6 +143,42 @@ func (r *Ring) ShardSkipping(key uint64, alive func(shard int) bool) (shard int,
 	return -1, false
 }
 
+// Member reports whether id is currently a ring member.
+func (r *Ring) Member(id int) bool {
+	i := sort.SearchInts(r.shards, id)
+	return i < len(r.shards) && r.shards[i] == id
+}
+
+// ReplicaSet returns the first n distinct members clockwise from the key's
+// hash — the key's replica set. Element 0 is the primary owner (== Shard);
+// the rest are the failover/hedge targets in clockwise-encounter order.
+// When the ring has fewer than n members the whole membership is returned,
+// so the set is always distinct by construction, even when N ≤ R.
+func (r *Ring) ReplicaSet(key uint64, n int) []int {
+	if n > len(r.shards) {
+		n = len(r.shards)
+	}
+	if n < 1 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	start := r.succ(KeyHash(key))
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		s := r.points[(start+i)%len(r.points)].shard
+		seen := false
+		for _, have := range out {
+			if have == s {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // WithShard returns a new ring with id joined (the rebalancing target of a
 // scale-out step). The receiver is unchanged.
 func (r *Ring) WithShard(id int) (*Ring, error) {

@@ -8,6 +8,8 @@
 //
 //	cluster run -requests 64 -shards 3 -seed 7
 //	cluster run -requests 128 -hot 0.5 -quota 2 -faulty -report rep.json
+//	cluster run -requests 96 -schedule "join:3@4000,drain:1@9000"
+//	cluster run -requests 96 -replicas 2 -hedge-us 400 -straggler 1:8
 //
 // The same flags always produce byte-identical routing decisions, reports,
 // traces and metrics; -report writes the full per-request report JSON,
@@ -38,8 +40,14 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   cluster run [-requests n] [-shards n] [-vnodes n] [-fpgas n] [-workers n]
               [-seed n] [-tenants n] [-hot frac] [-quota n] [-window us]
-              [-gap us] [-faulty] [-report file] [-trace file] [-metrics file]
-              [-reqtrace file] [-flight file] [-v]
+              [-gap us] [-schedule events] [-replicas n] [-hedge-us us]
+              [-straggler shard:factor] [-faulty] [-report file]
+              [-trace file] [-metrics file] [-reqtrace file] [-flight file] [-v]
+
+  -schedule is a comma-separated membership churn plan of
+  "<join|drain>:<shard>@<at_us>" events, e.g. "join:3@4000,drain:1@9000".
+  -hedge-us enables hedged reads (needs -replicas >= 2): a positive value is
+  a fixed virtual deadline, -1 tracks the running p95.
 `)
 }
 
@@ -57,6 +65,10 @@ func runCmd(args []string) {
 		quota    = fs.Int("quota", 0, "per-tenant admitted requests per window (0 = no quota)")
 		window   = fs.Int64("window", 0, "admission window in µs (0 = default 1000)")
 		gap      = fs.Int64("gap", 0, "mean virtual inter-arrival gap in µs (0 = default 200)")
+		schedule = fs.String("schedule", "", "membership churn plan: comma-separated <join|drain>:<shard>@<at_us> events")
+		replicas = fs.Int("replicas", 0, "replica-set width R (0 = default 1; hedging needs >= 2)")
+		hedgeUS  = fs.Int64("hedge-us", 0, "hedged-read deadline in µs (>0 fixed, -1 running p95, 0 off)")
+		strag    = fs.String("straggler", "", "straggle one shard: <shard>:<factor>, e.g. 1:8")
 		faulty   = fs.Bool("faulty", false, "fail-stop shard 1 after 40% of its share; requests fail over clockwise")
 		report   = fs.String("report", "", "write the full request-level report (JSON) to this file")
 		trace    = fs.String("trace", "", "write the Chrome trace-event timeline to this file")
@@ -75,6 +87,10 @@ func runCmd(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	sched, err := cluster.ParseMembershipSchedule(*schedule)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := cluster.Config{
 		Shards:        *shards,
 		VNodes:        *vnodes,
@@ -82,6 +98,9 @@ func runCmd(args []string) {
 		ShardWorkers:  *workers,
 		TenantQuota:   *quota,
 		QuotaWindowUS: *window,
+		Schedule:      sched,
+		Replicas:      *replicas,
+		HedgeUS:       *hedgeUS,
 		Seed:          *seed,
 	}
 	if *faulty {
@@ -92,6 +111,17 @@ func runCmd(args []string) {
 			Seed:    *seed,
 			Crashes: []faults.Crash{{Node: 1, AfterFraction: 0.4}},
 		}
+	}
+	if *strag != "" {
+		var node int
+		var factor float64
+		if _, err := fmt.Sscanf(*strag, "%d:%g", &node, &factor); err != nil {
+			fatal(fmt.Errorf("-straggler %q: want <shard>:<factor>: %w", *strag, err))
+		}
+		if cfg.Faults == nil {
+			cfg.Faults = &faults.Scenario{Seed: *seed}
+		}
+		cfg.Faults.Stragglers = append(cfg.Faults.Stragglers, faults.Straggler{Node: node, Factor: factor})
 	}
 	sess := simtrace.NewSession()
 	cfg.Trace = sess
@@ -136,6 +166,20 @@ func runCmd(args []string) {
 		*shards,
 		rep.MovedRingX10000/100, rep.MovedRingX10000%100,
 		rep.MovedModX10000/100, rep.MovedModX10000%100)
+	for j := range rep.MembershipEvents {
+		ev := &rep.MembershipEvents[j]
+		fmt.Printf("membership: %s shard %d at %dus moved %d.%02d%% of keys\n",
+			ev.Kind, ev.Shard, ev.AtUS,
+			rep.EventMovedX10000[j]/100, rep.EventMovedX10000[j]%100)
+	}
+	if rep.HandoffDelayed > 0 {
+		fmt.Printf("handoff: %d requests waited %dus total behind drain barriers\n",
+			rep.HandoffDelayed, rep.HandoffWaitUS)
+	}
+	if rep.HedgedRun {
+		fmt.Printf("hedging: issued=%d won=%d cancelled=%d saved=%dus wasted=%dus\n",
+			rep.HedgeIssued, rep.HedgeWon, rep.HedgeCancelled, rep.HedgeSavedUS, rep.HedgeWastedUS)
+	}
 	for s := range rep.ShardJobs {
 		fmt.Printf("shard %d: jobs=%d makespan=%dus\n", s, rep.ShardJobs[s], rep.ShardMakespanUS[s])
 	}

@@ -533,8 +533,9 @@ func f() {
 // TestClusterFixture runs the deterministic-path and boundary-reach
 // analyzers — configured exactly as for the real fpgapart/cluster package —
 // over the known-bad cluster twin: a map-range load gather, a wall-clock
-// admission stamp, a global-rand failover backoff, and an exported router
-// API reaching an internal panic site unguarded. Marker-checked in both
+// admission stamp, a global-rand failover backoff, an exported router
+// API reaching an internal panic site unguarded, a map-range rebalance
+// plan, and a wall-clock hedge deadline. Marker-checked in both
 // directions, so the fixture also proves the analyzers stay quiet on its
 // clean lines.
 func TestClusterFixture(t *testing.T) {
@@ -550,10 +551,11 @@ func TestClusterFixture(t *testing.T) {
 	findings := checkFixtureModule(t, []*Package{internal, pkg}, []Analyzer{det, br})
 	assertFinding(t, findings, "determinism", "range over map")
 	assertFinding(t, findings, "determinism", "time.Now")
+	assertFinding(t, findings, "determinism", "time.Since")
 	assertFinding(t, findings, "determinism", "rand.")
 	assertFinding(t, findings, "boundary-reach", "fixpanic")
-	if len(findings) < 4 {
-		t.Fatalf("cluster fixture produced %d findings, want ≥ 4", len(findings))
+	if len(findings) < 6 {
+		t.Fatalf("cluster fixture produced %d findings, want ≥ 6", len(findings))
 	}
 }
 

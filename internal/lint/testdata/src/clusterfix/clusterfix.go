@@ -44,3 +44,27 @@ func JitterBackoff(n int) int {
 func Route(key int) (int, error) { // want boundary-reach
 	return fixpanic.Checked(key), nil
 }
+
+// PlanRebalance walks the replica assignment map to pick which key ranges a
+// joining shard should take over. The plan's *content* is order-free, but
+// the handoff barriers are installed in iteration order — under map
+// randomization two same-seed runs drain the old owners in different
+// sequences, so migrated requests observe different barrier times.
+func PlanRebalance(replicas map[uint64][]int, joining int) []uint64 {
+	var moved []uint64
+	for key, set := range replicas { // want determinism
+		if len(set) > 0 && set[0] != joining {
+			moved = append(moved, key)
+		}
+	}
+	return moved
+}
+
+// HedgeDeadline decides whether to issue a hedge by measuring the primary's
+// elapsed time on the host clock — the hedging twin of StampAdmission.
+// Scheduler jitter then decides which lane wins, so the report's hedge
+// counters (and through the winner override, its latency tail) change run
+// to run even at a fixed seed.
+func HedgeDeadline(issued time.Time, deadline time.Duration) bool {
+	return time.Since(issued) > deadline // want determinism
+}

@@ -30,7 +30,21 @@ type clusterScenario struct {
 	label    string
 	quota    int
 	hot      float64
+	gapUS    int64 // mean inter-arrival gap (0 = 80)
 	scenario *faults.Scenario
+
+	// schedule runs live membership churn; compareStatic additionally runs
+	// the same stream on the static ring and gates checksum divergence (must
+	// be 0: only moved keys re-route, content never changes).
+	schedule      cluster.MembershipSchedule
+	compareStatic bool
+
+	// replicas/hedgeUS enable hedged reads; compareUnhedged additionally
+	// runs the same stream unhedged and gates the p99 win (must be > 0:
+	// hedging must strictly beat the straggler tail).
+	replicas        int
+	hedgeUS         int64
+	compareUnhedged bool
 }
 
 func runClusterSuite(cfg Config) ([]Record, error) {
@@ -46,6 +60,27 @@ func runClusterSuite(cfg Config) ([]Record, error) {
 			Seed:    uint64(cfg.Seed),
 			Crashes: []faults.Crash{{Node: 1, AfterFraction: 0.4}},
 		}},
+		// Shard 3 joining live mid-stream: gates the moved-key permyriad of
+		// the join (ring bound: ≤ 2/(N+1) of keys at N=3) and pins zero
+		// checksum divergence against the static ring — live migration
+		// re-routes only moved keys and never changes content.
+		{label: "livejoin",
+			schedule:      cluster.MembershipSchedule{{AtUS: 800, Shard: clusterShards, Kind: cluster.Join}},
+			compareStatic: true},
+		// Shard 1's FPGA straggling 8×: the unhedged tail baseline.
+		{label: "straggler", gapUS: 20, scenario: &faults.Scenario{
+			Seed:       uint64(cfg.Seed),
+			Stragglers: []faults.Straggler{{Node: 1, Factor: 8}},
+		}},
+		// The same straggler with R=2 hedged reads at a fixed 150 µs
+		// deadline: gates the hedge counters and the strict p99 win over the
+		// unhedged run of the identical stream.
+		{label: "straggler-hedged", gapUS: 20,
+			scenario: &faults.Scenario{
+				Seed:       uint64(cfg.Seed),
+				Stragglers: []faults.Straggler{{Node: 1, Factor: 8}},
+			},
+			replicas: 2, hedgeUS: 150, compareUnhedged: true},
 	}
 	var records []Record
 	for _, sc := range scenarios {
@@ -62,9 +97,13 @@ func runClusterScenario(cfg Config, sc clusterScenario) (Record, error) {
 	// Request sizes span cfg.Tuples/16 .. cfg.Tuples/4: small enough that
 	// three shards of one FPGA + one worker each stay CI-cheap, large enough
 	// that per-shard makespans dominate the router's bookkeeping.
+	gap := sc.gapUS
+	if gap == 0 {
+		gap = 80
+	}
 	reqs, err := cluster.GenerateLoad(uint64(cfg.Seed), clusterRequests, cluster.LoadOptions{
 		HotTenantShare: sc.hot,
-		MeanGapUS:      80,
+		MeanGapUS:      gap,
 		MinTuples:      cfg.Tuples / 16,
 		MaxTuples:      cfg.Tuples / 4,
 	})
@@ -76,6 +115,9 @@ func runClusterScenario(cfg Config, sc clusterScenario) (Record, error) {
 	ccfg := cluster.Config{
 		Shards:      clusterShards,
 		TenantQuota: sc.quota,
+		Schedule:    sc.schedule,
+		Replicas:    sc.replicas,
+		HedgeUS:     sc.hedgeUS,
 		Seed:        uint64(cfg.Seed),
 		Faults:      sc.scenario,
 		Trace:       sess,
@@ -98,17 +140,68 @@ func runClusterScenario(cfg Config, sc clusterScenario) (Record, error) {
 	// The session snapshot already carries the router's full telemetry —
 	// cluster.lat_{avg,p95,p99}_us, qps_x100, the latency histogram, the
 	// moved-key fractions, throttle/reroute counters, per-shard jobs and
-	// makespans, and the merged output checksum. Add the load-balance spread
-	// an operator would watch: busiest shard's share of the stream, ×100.
+	// makespans, the merged output checksum, and (on dynamic cells) the
+	// membership/handoff/hedge counters. Add the load-balance spread an
+	// operator would watch: busiest shard's share of the stream, ×100.
 	var maxJobs int
 	for _, n := range rep.ShardJobs {
 		if n > maxJobs {
 			maxJobs = n
 		}
 	}
-	gated := sess.Metrics.Snapshot().With(
+	extra := []simtrace.Metric{
 		counter("bench.max_shard_share_x100", int64(maxJobs)*100/int64(rep.Requests)),
-	)
+	}
+
+	if sc.compareStatic {
+		// Live churn vs. the static ring on the identical stream: the join
+		// may move at most ≈ 2/(N+1) of the keys and must never change the
+		// merged content. Both pinned: the moved permyriad as a gated number,
+		// the divergence as a hard error plus a pinned zero.
+		static := ccfg
+		static.Schedule = nil
+		static.Trace = nil
+		srep, err := cluster.Run(reqs, static)
+		if err != nil {
+			return Record{}, fmt.Errorf("static reference: %w", err)
+		}
+		if len(rep.EventMovedX10000) == 0 || rep.EventMovedX10000[0] > 2*10000/int64(clusterShards+1) {
+			return Record{}, fmt.Errorf("live join moved %v permyriad, over the 2/(N+1) ring bound", rep.EventMovedX10000)
+		}
+		var div int64
+		if rep.Checksum != srep.Checksum || rep.Matches != srep.Matches || rep.Done != srep.Done {
+			div = 1
+		}
+		if div != 0 {
+			return Record{}, fmt.Errorf("live join diverged from static ring: checksum %d vs %d, matches %d vs %d",
+				rep.Checksum, srep.Checksum, rep.Matches, srep.Matches)
+		}
+		extra = append(extra, counter("bench.checksum_divergence", div))
+	}
+
+	if sc.compareUnhedged {
+		// Hedged vs. unhedged on the identical stream and straggler: the
+		// whole point of the hedge lane is a strictly better p99. The win is
+		// an in-code assertion and a pinned gated number.
+		unhedged := ccfg
+		unhedged.Replicas = 0
+		unhedged.HedgeUS = 0
+		unhedged.Trace = nil
+		urep, err := cluster.Run(reqs, unhedged)
+		if err != nil {
+			return Record{}, fmt.Errorf("unhedged reference: %w", err)
+		}
+		win := urep.LatP99US - rep.LatP99US
+		if win <= 0 {
+			return Record{}, fmt.Errorf("hedged p99 %dus not below unhedged p99 %dus", rep.LatP99US, urep.LatP99US)
+		}
+		if rep.Checksum != urep.Checksum {
+			return Record{}, fmt.Errorf("hedging changed the checksum: %d vs %d", rep.Checksum, urep.Checksum)
+		}
+		extra = append(extra, counter("bench.hedge_p99_win_us", win))
+	}
+
+	gated := sess.Metrics.Snapshot().With(extra...)
 	return Record{
 		Name:  fmt.Sprintf("cluster/%ds1f1w/%dreq/%s", clusterShards, clusterRequests, sc.label),
 		Gated: MetricSet{gated},

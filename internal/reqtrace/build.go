@@ -13,6 +13,23 @@ type RouterStep struct {
 	// dead); Primary the ring owner before failover.
 	Shard   int
 	Primary int
+
+	// HandoffUS is the migration drain-barrier wait between admission and
+	// the serving shard's arrival: the request's key had just moved to a new
+	// owner, which may not serve it before the old owner drained the moved
+	// range (0 when the key was not migrating).
+	HandoffUS int64
+
+	// Hedged marks a request the router hedged to a replica after the
+	// virtual-time deadline; HedgeIssueUS is the issue instant
+	// (AdmitUS + deadline). When the hedge won (HedgeWon), the job record
+	// passed to BuildRouted must be the hedge lane's: the winner's chain is
+	// then quota wait → hedge wait (admission to issue) → the lane's
+	// execution, and the handoff barrier (a primary-side delay) is not
+	// charged.
+	Hedged       bool
+	HedgeWon     bool
+	HedgeIssueUS int64
 }
 
 // BuildJob converts one standalone scheduler job record into a request
@@ -76,6 +93,8 @@ func build(seed uint64, index int, step *RouterStep, job *JobRecord) RequestTrac
 		rootComp = "router"
 		arrival = step.ArrivalUS
 		rt.Throttled = step.Throttled
+		rt.Hedged = step.Hedged
+		rt.HedgeWon = step.HedgeWon
 		if step.Shard >= 0 {
 			rt.Shard = step.Shard
 			rt.Rerouted = step.Shard != step.Primary
@@ -102,6 +121,16 @@ func build(seed uint64, index int, step *RouterStep, job *JobRecord) RequestTrac
 		b.add("router", CompRoute, arrival, 0)
 		if step.AdmitUS > arrival {
 			b.add("router", CompQuotaWait, arrival, step.AdmitUS-arrival)
+		}
+		if step.HedgeWon {
+			// The winner is the hedge lane: its job record starts at the
+			// issue instant, so the deadline interval is hedge wait. The
+			// primary's handoff barrier is not on the winning path.
+			if step.HedgeIssueUS > step.AdmitUS {
+				b.add("router", CompHedgeWait, step.AdmitUS, step.HedgeIssueUS-step.AdmitUS)
+			}
+		} else if step.HandoffUS > 0 {
+			b.add("router", CompHandoffWait, step.AdmitUS, step.HandoffUS)
 		}
 	}
 

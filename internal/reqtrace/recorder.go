@@ -65,7 +65,9 @@ type FlightEvent struct {
 	Comp string
 	// Kind names the event: "dispatch", "done", "fault", "crash",
 	// "degrade", "timeout", "cancel", "failed", "throttle", "failover",
-	// "shard_crash", "unrouted".
+	// "shard_crash", "unrouted"; membership and hedging add "shard_join",
+	// "shard_drain", "range_moved", "hedge_issued", "hedge_won" (router
+	// side) and "hedge_lost" (a hedge lane's cancel, rewritten at merge).
 	Kind string
 	// Job is the job id (request index after a cluster merge), -1 when the
 	// event is not job-scoped.

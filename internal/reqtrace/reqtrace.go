@@ -46,6 +46,15 @@ const (
 	// CompQuotaWait is per-tenant admission-quota deferral at the router
 	// (AdmitUS − ArrivalUS).
 	CompQuotaWait
+	// CompHandoffWait is migration drain-barrier wait: a request whose key
+	// just moved to a new owner waits at the router until the old owner has
+	// drained its queued work for the moved range (admission to shard
+	// arrival).
+	CompHandoffWait
+	// CompHedgeWait is the wait from admission to hedge issue, charged when
+	// the replica hedge lane won the request: the winner's timeline starts
+	// at the hedge deadline, so the deadline itself is router wait.
+	CompHedgeWait
 	// CompQueueWait is admission-queue plus backlog wait on the shard, from
 	// scheduler arrival to the first dispatch.
 	CompQueueWait
@@ -78,8 +87,9 @@ const (
 )
 
 var componentNames = [NumComponents]string{
-	"route", "quota_wait", "queue_wait", "reconfig", "batch_wait",
-	"exec", "spill", "batch_drain", "retry_wait", "merge_wait",
+	"route", "quota_wait", "handoff_wait", "hedge_wait", "queue_wait",
+	"reconfig", "batch_wait", "exec", "spill", "batch_drain", "retry_wait",
+	"merge_wait",
 }
 
 func (c Component) String() string {
@@ -163,9 +173,14 @@ type RequestTrace struct {
 	Status string
 	// Shard is where the request executed (-1: standalone run or never
 	// admitted); Rerouted and Throttled echo the router's decisions.
+	// Hedged marks a request whose router issued a replica hedge; HedgeWon
+	// marks the hedge lane finishing first (the trace's execution spans are
+	// then the hedge lane's, and Shard stays the primary's id).
 	Shard     int
 	Rerouted  bool
 	Throttled bool
+	Hedged    bool
+	HedgeWon  bool
 
 	// Virtual timeline (µs) and the conservation identity:
 	// Breakdown.Sum() == LatencyUS == DoneUS − ArrivalUS.

@@ -131,6 +131,14 @@ type Config struct {
 	// the scheduler loop in virtual-time order; nil disables recording at
 	// zero cost (nil-receiver no-ops).
 	Record *reqtrace.Recorder
+
+	// Lane optionally prefixes the causal-record component names
+	// ("<lane>.sched", "<lane>.fpga0", …) so a frontend multiplexing several
+	// scheduler deployments over one merged flight timeline — the cluster's
+	// hedge lanes — can attribute every event and attempt to the right lane.
+	// The prefixed strings are built once at scheduler construction, so the
+	// recording hot path stays allocation-free. Empty means no prefix.
+	Lane string
 }
 
 // WithDefaults returns a copy with unset knobs filled in.
@@ -460,6 +468,16 @@ func keyOf(j *Job) configKey {
 		k.layout = core.VRID
 	}
 	return k
+}
+
+// laneComp prefixes a causal-record component name with the configured lane
+// ("hedge" + "fpga0" → "hedge.fpga0"). Called only at scheduler
+// construction, never on the recording hot path.
+func laneComp(lane, comp string) string {
+	if lane == "" {
+		return comp
+	}
+	return lane + "." + comp
 }
 
 // mix is splitmix64's finalizer, the seeded tie-breaking hash.

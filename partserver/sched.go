@@ -97,6 +97,11 @@ type scheduler struct {
 	res  []*resource // fpgas first, then cpus
 	nfpg int
 
+	// schedComp is the causal-record component name of the scheduler itself:
+	// "sched", or "<lane>.sched" under Config.Lane. Built once here so the
+	// recording hot path never concatenates.
+	schedComp string
+
 	now      int64
 	makespan int64
 	reconfs  int64
@@ -107,7 +112,7 @@ type scheduler struct {
 }
 
 func newScheduler(jobs []Job, cfg Config) (*scheduler, error) {
-	s := &scheduler{cfg: cfg, nfpg: cfg.FPGAs}
+	s := &scheduler{cfg: cfg, nfpg: cfg.FPGAs, schedComp: laneComp(cfg.Lane, "sched")}
 	if cfg.Faults != nil {
 		inj, err := faults.New(*cfg.Faults)
 		if err != nil {
@@ -145,7 +150,7 @@ func newScheduler(jobs []Job, cfg Config) (*scheduler, error) {
 		r := &resource{
 			kind:     PlacedFPGA,
 			idx:      i,
-			comp:     fmt.Sprintf("fpga%d", i),
+			comp:     laneComp(cfg.Lane, fmt.Sprintf("fpga%d", i)),
 			crashAt:  -1,
 			straggle: 1,
 			work:     make(chan *batch, 1),
@@ -163,7 +168,7 @@ func newScheduler(jobs []Job, cfg Config) (*scheduler, error) {
 		s.res = append(s.res, &resource{
 			kind:     PlacedCPU,
 			idx:      i,
-			comp:     fmt.Sprintf("cpu%d", i),
+			comp:     laneComp(cfg.Lane, fmt.Sprintf("cpu%d", i)),
 			crashAt:  -1,
 			straggle: 1,
 			work:     make(chan *batch, 1),
@@ -462,7 +467,7 @@ func (s *scheduler) failUnschedulable(q *[]*jobState) {
 		j.doneUS = s.now
 		j.errMsg = "no resource can run this job"
 		s.cfg.Record.Finish(j.id, "failed", s.now)
-		s.cfg.Record.Event(s.now, "sched", "failed", j.id, int64(j.attempts))
+		s.cfg.Record.Event(s.now, s.schedComp, "failed", j.id, int64(j.attempts))
 		s.count("sched.jobs_failed", 1)
 	}
 	*q = nil
@@ -482,12 +487,12 @@ func (s *scheduler) expire(q *[]*jobState) {
 		if j.spec.TimeoutUS > 0 && j.spec.ArrivalUS+j.spec.TimeoutUS <= s.now {
 			j.status = StatusTimedOut
 			s.cfg.Record.Finish(j.id, "timedout", s.now)
-			s.cfg.Record.Event(s.now, "sched", "timeout", j.id, int64(j.attempts))
+			s.cfg.Record.Event(s.now, s.schedComp, "timeout", j.id, int64(j.attempts))
 			s.count("sched.jobs_timeout", 1)
 		} else {
 			j.status = StatusCancelled
 			s.cfg.Record.Finish(j.id, "cancelled", s.now)
-			s.cfg.Record.Event(s.now, "sched", "cancel", j.id, int64(j.attempts))
+			s.cfg.Record.Event(s.now, s.schedComp, "cancel", j.id, int64(j.attempts))
 			s.count("sched.jobs_cancelled", 1)
 		}
 		j.placement = PlacedNone
